@@ -1,0 +1,246 @@
+(* oglaf — command-line front door to the GLAF reproduction.
+
+   Subcommands:
+     compile   GPI action script -> analyzed, optimized Fortran or C
+     analyze   print the auto-parallelization report for a script
+     run       interpret a function of a compiled script
+     check     integration-check a script against legacy Fortran code
+     sloc      SLOC table of a Fortran source file
+     sarb      reproduce the Synoptic SARB case study (§4.1)
+     fun3d     reproduce the FUN3D case study (§4.2)
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_script path =
+  match Glaf_builder.Gpi_script.run (read_file path) with
+  | p -> p
+  | exception Glaf_builder.Gpi_script.Script_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 1
+
+let policy_of_string = function
+  | "v0" -> Some Glaf_optimizer.Directive_policy.V0
+  | "v1" -> Some Glaf_optimizer.Directive_policy.V1
+  | "v2" -> Some Glaf_optimizer.Directive_policy.V2
+  | "v3" -> Some Glaf_optimizer.Directive_policy.V3
+  | _ -> None
+
+(* library/intrinsic functions are side-effect-free for the analysis *)
+let pure = Glaf_runtime.Intrinsics.names ()
+
+let pipeline ?(serial = false) ?(policy = None) ?(soa = false) program =
+  let program =
+    if soa then Glaf_optimizer.Layout.to_soa program else program
+  in
+  let annotated, report = Glaf_analysis.Autopar.run ~pure program in
+  let annotated =
+    match policy with
+    | Some p -> Glaf_optimizer.Directive_policy.apply ~pure p annotated
+    | None -> annotated
+  in
+  let opts =
+    { Glaf_codegen.Fortran_gen.default_options with emit_omp = not serial }
+  in
+  (annotated, report, opts)
+
+(* --- compile ----------------------------------------------------------- *)
+
+let script_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"GPI action script")
+
+let serial_flag =
+  Arg.(value & flag & info [ "serial" ] ~doc:"Generate serial code (no OpenMP directives).")
+
+let soa_flag =
+  Arg.(value & flag & info [ "soa" ] ~doc:"Apply the AoS-to-SoA layout transform first.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy" ] ~docv:"V0..V3"
+        ~doc:"Directive-pruning policy of the paper's Table 2 (v0, v1, v2, v3).")
+
+let lang_arg =
+  Arg.(
+    value
+    & opt string "fortran"
+    & info [ "lang" ] ~docv:"LANG" ~doc:"Output language: fortran, c or opencl.")
+
+let compile_cmd =
+  let run script serial policy_s soa lang =
+    let policy = Option.bind policy_s policy_of_string in
+    if policy_s <> None && policy = None then begin
+      Printf.eprintf "unknown policy %s\n" (Option.get policy_s);
+      exit 1
+    end;
+    let annotated, _, opts = pipeline ~serial ~policy ~soa (load_script script) in
+    match lang with
+    | "fortran" ->
+      print_string (Glaf_codegen.Fortran_gen.to_source ~opts annotated)
+    | "c" ->
+      print_string (Glaf_codegen.C_gen.gen_program ~emit_omp:(not serial) annotated)
+    | "opencl" ->
+      print_string (Glaf_codegen.Opencl_gen.gen_program annotated)
+    | other ->
+      Printf.eprintf "unknown language %s\n" other;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Auto-parallelize a GPI script and generate code")
+    Term.(const run $ script_arg $ serial_flag $ policy_arg $ soa_flag $ lang_arg)
+
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run script =
+    let _, report, _ = pipeline (load_script script) in
+    Format.printf "%a@." Glaf_analysis.Autopar.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print the auto-parallelization report")
+    Term.(const run $ script_arg)
+
+(* --- run ---------------------------------------------------------------- *)
+
+let call_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "call" ] ~docv:"FUNCTION" ~doc:"Function of the script to invoke.")
+
+let fun_args =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "arg" ] ~docv:"VALUE" ~doc:"Scalar argument (integer or real), repeatable.")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "threads" ] ~doc:"OpenMP thread count.")
+
+let run_cmd =
+  let run script fname args threads =
+    let annotated, _, opts = pipeline (load_script script) in
+    let src = Glaf_codegen.Fortran_gen.to_source ~opts annotated in
+    let st = Glaf_interp.Interp.make_state (Glaf_fortran.Parser.parse_string src) in
+    Glaf_interp.Interp.set_threads st threads;
+    let actuals =
+      List.map
+        (fun a ->
+          match int_of_string_opt a with
+          | Some n -> Glaf_fortran.Ast.Int_lit n
+          | None -> Glaf_fortran.Ast.Real_lit (float_of_string a, true))
+        args
+    in
+    match Glaf_interp.Interp.call st fname actuals with
+    | Some v -> print_endline (Glaf_runtime.Value.to_string v)
+    | None -> print_endline "(subroutine completed)"
+    | exception Glaf_interp.Interp.Fortran_error msg ->
+      Printf.eprintf "runtime error: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and interpret a function of a GPI script")
+    Term.(const run $ script_arg $ call_arg $ fun_args $ threads_arg)
+
+(* --- check -------------------------------------------------------------- *)
+
+let legacy_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "legacy" ] ~docv:"FILE" ~doc:"Legacy Fortran source to integrate with.")
+
+let check_cmd =
+  let run script legacy =
+    let program = load_script script in
+    let model = Glaf_integration.Legacy_model.of_source (read_file legacy) in
+    match Glaf_integration.Checker.check model program with
+    | [] -> print_endline "OK: all integration references resolve"
+    | issues ->
+      List.iter
+        (fun i -> print_endline (Glaf_integration.Checker.issue_to_string i))
+        issues;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check a GPI script's integration surface against legacy code")
+    Term.(const run $ script_arg $ legacy_arg)
+
+(* --- sloc --------------------------------------------------------------- *)
+
+let sloc_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Fortran source")
+  in
+  let run file =
+    let cu = Glaf_fortran.Parser.parse_string (read_file file) in
+    List.iter
+      (fun (name, n) -> Printf.printf "%-32s %6d\n" name n)
+      (Glaf_fortran.Sloc.table cu)
+  in
+  Cmd.v
+    (Cmd.info "sloc" ~doc:"Per-subprogram SLOC of a Fortran source file")
+    Term.(const run $ file_arg)
+
+(* --- case studies -------------------------------------------------------- *)
+
+let sarb_cmd =
+  let run () =
+    print_endline "== integration check ==";
+    (match Glaf_workloads.Sarb.integration_issues () with
+    | [] -> print_endline "OK"
+    | l -> List.iter (fun i -> print_endline (Glaf_integration.Checker.issue_to_string i)) l);
+    print_endline "\n== verification ==";
+    List.iter
+      (fun (v, d) ->
+        Printf.printf "%-22s max |diff| %9.2e\n" (Glaf_workloads.Sarb.variant_name v) d)
+      (Glaf_workloads.Sarb.verify ~threads:2 ());
+    print_endline "\n== Figure 5 ==";
+    List.iter
+      (fun (n, s) -> Printf.printf "%-22s %.2fx\n" n s)
+      (Glaf_workloads.Sarb.figure5 ());
+    print_endline "\n== Figure 6 ==";
+    List.iter
+      (fun (t, s) -> Printf.printf "%dT %.2fx\n" t s)
+      (Glaf_workloads.Sarb.figure6 ())
+  in
+  Cmd.v
+    (Cmd.info "sarb" ~doc:"Reproduce the Synoptic SARB case study")
+    Term.(const run $ const ())
+
+let fun3d_cmd =
+  let ncell_arg =
+    Arg.(value & opt int 150 & info [ "ncell" ] ~doc:"Mesh size for the interpreted runs.")
+  in
+  let run ncell =
+    print_endline "== verification + reallocation study ==";
+    List.iter
+      (fun (v, d, a) ->
+        Printf.printf "%-40s rms diff %9.2e  allocs %6d\n"
+          (Glaf_workloads.Fun3d.variant_name v) d a)
+      (Glaf_workloads.Fun3d.verify ~threads:2 ~ncell ());
+    print_endline "\n== Figure 7 (modeled, 1M cells, 16T) ==";
+    List.iter
+      (fun (n, s) -> Printf.printf "%-40s %8.3fx\n" n s)
+      (Glaf_workloads.Fun3d.figure7 ())
+  in
+  Cmd.v
+    (Cmd.info "fun3d" ~doc:"Reproduce the FUN3D case study")
+    Term.(const run $ ncell_arg)
+
+let () =
+  let doc = "GLAF reproduction: auto-parallelization and code generation" in
+  let info = Cmd.info "oglaf" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; analyze_cmd; run_cmd; check_cmd; sloc_cmd; sarb_cmd; fun3d_cmd ]))

@@ -1,0 +1,1 @@
+examples/fun3d_jacobian.ml: Fun3d Fun3d_glaf Glaf_fortran Glaf_integration Glaf_workloads List Printf String

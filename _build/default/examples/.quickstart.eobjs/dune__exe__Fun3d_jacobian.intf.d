@@ -1,0 +1,1 @@
+examples/fun3d_jacobian.mli:

@@ -1,0 +1,1 @@
+examples/gpi_script_demo.mli:

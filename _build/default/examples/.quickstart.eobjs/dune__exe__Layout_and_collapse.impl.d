@@ -1,0 +1,1 @@
+examples/layout_and_collapse.ml: Build Expr Float Glaf_builder Glaf_codegen Glaf_fortran Glaf_interp Glaf_ir Glaf_optimizer Glaf_runtime Grid List Printf Stmt String Types

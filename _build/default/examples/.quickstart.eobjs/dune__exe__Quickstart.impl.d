@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Expr Float Format Glaf_analysis Glaf_builder Glaf_codegen Glaf_fortran Glaf_interp Glaf_ir Glaf_runtime Grid List Pp Printf Stmt String Types

@@ -1,0 +1,1 @@
+examples/sarb_integration.ml: Glaf_fortran Glaf_integration Glaf_optimizer Glaf_workloads List Printf Sarb Sarb_legacy String

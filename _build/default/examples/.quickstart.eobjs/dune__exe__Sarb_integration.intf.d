@@ -1,0 +1,1 @@
+examples/sarb_integration.mli:

@@ -1,0 +1,1 @@
+examples/zones_sarb.ml: Array Float Glaf_fortran Glaf_interp Glaf_optimizer Glaf_runtime Glaf_workloads List Printf Sarb Value Zones

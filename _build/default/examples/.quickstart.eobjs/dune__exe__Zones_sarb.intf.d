@@ -1,0 +1,1 @@
+examples/zones_sarb.mli:

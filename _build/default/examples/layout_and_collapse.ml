@@ -1,0 +1,122 @@
+(* The code-optimization back-end (§2.1): data-layout transformation
+   (array-of-structures -> structure-of-arrays), loop interchange and
+   manual loop collapsing, with the generated Fortran shown before and
+   after each transform and semantics checked through the interpreter.
+
+   Run with:  dune exec examples/layout_and_collapse.exe
+*)
+
+open Glaf_ir
+open Glaf_builder
+module E = Expr
+module S = Stmt
+
+let particles_program () =
+  let b = Build.create "layout_demo" in
+  Build.add_module b "m";
+  Build.start_function b "advance" ~return:Types.T_real8;
+  Build.add_param b (Grid.scalar Types.T_int "n");
+  Build.add_grid b
+    (Grid.record
+       [ ("pos", Types.T_real8); ("vel", Types.T_real8); ("mass", Types.T_real8) ]
+       ~dims:[ Grid.dim (Grid.Sym "n") ]
+       "pts");
+  Build.add_grid b (Grid.scalar Types.T_real8 "energy");
+  Build.start_step b "init";
+  Build.add_stmt b
+    (S.for_ "i" ~lo:(E.int 1) ~hi:(E.var "n")
+       [
+         S.Assign
+           ( { E.grid = "pts"; field = Some "mass"; indices = [ E.var "i" ] },
+             E.(real 1.0 + real 0.25 * var "i") );
+         S.Assign
+           ( { E.grid = "pts"; field = Some "pos"; indices = [ E.var "i" ] },
+             E.(var "i" * real 0.1) );
+         S.Assign
+           ( { E.grid = "pts"; field = Some "vel"; indices = [ E.var "i" ] },
+             E.(real 2.0 / var "i") );
+       ]);
+  Build.start_step b "kick";
+  Build.add_stmt b
+    (S.for_ "i" ~lo:(E.int 1) ~hi:(E.var "n")
+       [
+         S.Assign
+           ( { E.grid = "pts"; field = Some "pos"; indices = [ E.var "i" ] },
+             E.(fld "pts" "pos" [ var "i" ] + real 0.5 * fld "pts" "vel" [ var "i" ]) );
+       ]);
+  Build.start_step b "energy";
+  Build.add_stmt b (S.assign_var "energy" (E.real 0.0));
+  Build.add_stmt b
+    (S.for_ "i" ~lo:(E.int 1) ~hi:(E.var "n")
+       [
+         S.assign_var "energy"
+           E.(var "energy"
+              + real 0.5 * fld "pts" "mass" [ var "i" ]
+                * fld "pts" "vel" [ var "i" ]
+                * fld "pts" "vel" [ var "i" ]
+              + fld "pts" "pos" [ var "i" ]);
+       ]);
+  Build.add_stmt b (S.Return (Some (E.var "energy")));
+  Build.finish b
+
+let run_program p =
+  let src = Glaf_codegen.Fortran_gen.to_source p in
+  let st = Glaf_interp.Interp.make_state (Glaf_fortran.Parser.parse_string src) in
+  match Glaf_interp.Interp.call st "advance" [ Glaf_fortran.Ast.Int_lit 64 ] with
+  | Some v -> Glaf_runtime.Value.to_float v
+  | None -> assert false
+
+let () =
+  let aos = particles_program () in
+  print_endline "== AoS: generated derived TYPE + array of TYPE ==";
+  let aos_src = Glaf_codegen.Fortran_gen.to_source aos in
+  String.split_on_char '\n' aos_src
+  |> List.filteri (fun i _ -> i < 14)
+  |> List.iter print_endline;
+
+  let soa = Glaf_optimizer.Layout.to_soa aos in
+  print_endline "\n== SoA: one dense array per field ==";
+  let soa_src = Glaf_codegen.Fortran_gen.to_source soa in
+  String.split_on_char '\n' soa_src
+  |> List.filteri (fun i _ -> i < 10)
+  |> List.iter print_endline;
+
+  let e_aos = run_program aos and e_soa = run_program soa in
+  Printf.printf "\nenergy (AoS) = %.9f\nenergy (SoA) = %.9f\nequal = %b\n" e_aos
+    e_soa
+    (Float.abs (e_aos -. e_soa) < 1e-9);
+
+  (* interchange + manual collapse on a double nest *)
+  print_endline "\n== loop interchange & manual collapse ==";
+  let nest =
+    S.
+      {
+        index = "i";
+        lo = E.int 1;
+        hi = E.int 8;
+        step = E.int 1;
+        body =
+          [
+            S.For
+              {
+                index = "j";
+                lo = E.int 1;
+                hi = E.int 16;
+                step = E.int 1;
+                body =
+                  [
+                    S.assign_idx "a" [ E.var "i"; E.var "j" ]
+                      E.(var "i" * int 100 + var "j" + real 0.0);
+                  ];
+                directive = None;
+              };
+          ];
+        directive = None;
+      }
+  in
+  (match Glaf_optimizer.Loop_opt.collapse ~fresh_index:"k" nest with
+  | Some collapsed ->
+    print_endline "collapsed form:";
+    print_endline (Glaf_ir.Pp.stmt_to_string (S.For collapsed))
+  | None -> print_endline "collapse refused");
+  print_endline "\n(see test/test_codegen.ml for the semantics-preservation checks)"

@@ -1,0 +1,60 @@
+(* The Synoptic SARB execution context (§2.2): the globe is split into
+   latitude zones processed in parallel (MPI in the original), each
+   zone's time proportional to its size; GLAF contributes the
+   intra-zone parallelism.  This example runs the v3-integrated SARB
+   kernel over a set of cosine-sized zones on the domain-based zone
+   scheduler, with a per-zone temperature perturbation, and reports
+   the load balance of static vs LPT scheduling.
+
+   Run with:  dune exec examples/zones_sarb.exe
+*)
+
+open Glaf_workloads
+open Glaf_runtime
+
+let () =
+  let zones = Zones.latitude_zones ~zones:12 ~total_cells:12_000 in
+  Printf.printf "zones (cells proportional to cos latitude):\n";
+  List.iter
+    (fun z ->
+      Printf.printf "  zone %2d  lat %+6.1f  cells %5d\n" z.Zones.zone_id
+        z.Zones.lat_deg z.Zones.size)
+    zones;
+
+  (* one interpreter state per worker is the MPI-rank analogue: ranks
+     share nothing *)
+  let cu = Sarb.integrated_cu (Sarb.Glaf_parallel Glaf_optimizer.Directive_policy.V3) in
+  let checksums = Array.make (List.length zones + 1) nan in
+  let process (z : Zones.zone) =
+    let st = Glaf_interp.Interp.make_state ~printer:ignore cu in
+    Glaf_interp.Interp.set_threads st 2;
+    ignore (Glaf_interp.Interp.call st "sarb_init_profiles" []);
+    (* per-zone forcing: equatorial zones are warmer *)
+    let dtemp = 10.0 *. cos (z.Zones.lat_deg *. Float.pi /. 180.0) in
+    ignore
+      (Glaf_interp.Interp.call st "entropy_interface"
+         [ Glaf_fortran.Ast.Real_lit (dtemp, true);
+           Glaf_fortran.Ast.Real_lit (1.0, true) ]);
+    match Glaf_interp.Interp.call st "sarb_checksum" [] with
+    | Some v -> checksums.(z.Zones.zone_id) <- Value.to_float v
+    | None -> ()
+  in
+  let schedule = Zones.schedule_lpt zones ~workers:3 in
+  Zones.run schedule ~f:process;
+  Printf.printf "\nper-zone checksums (3 workers, LPT schedule):\n";
+  List.iter
+    (fun z ->
+      Printf.printf "  zone %2d  checksum %14.4f\n" z.Zones.zone_id
+        checksums.(z.Zones.zone_id))
+    zones;
+
+  (* load balance comparison under a size-proportional cost *)
+  let cost z = float_of_int z.Zones.size in
+  let static = Zones.makespan (Zones.schedule_static zones ~workers:3) ~cost in
+  let lpt = Zones.makespan schedule ~cost in
+  let bound = Zones.total_work zones ~cost /. 3.0 in
+  Printf.printf
+    "\nload balance (cells on the critical worker):\n  static blocks %8.0f\n  LPT %17.0f\n  perfect-balance bound %.0f\n"
+    static lpt bound;
+  Printf.printf "\ndeterminism check: zone 1 = zone 12 (symmetric forcing): %b\n"
+    (Float.abs (checksums.(1) -. checksums.(12)) < 1e-6)

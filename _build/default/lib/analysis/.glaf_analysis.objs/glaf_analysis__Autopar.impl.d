@@ -1,0 +1,1 @@
+lib/analysis/autopar.pp.ml: Depend Format Func Glaf_ir Ir_module List Loop_info Stmt String

@@ -1,0 +1,1 @@
+lib/analysis/depend.pp.ml: Expr Func Glaf_ir Grid Hashtbl Ir_module List Loop_info Stmt String Summary

@@ -1,0 +1,1 @@
+lib/analysis/loop_info.pp.ml: Glaf_ir List Ppx_deriving_runtime Printf Stmt

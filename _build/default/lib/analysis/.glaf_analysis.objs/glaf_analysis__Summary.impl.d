@@ -1,0 +1,1 @@
+lib/analysis/summary.pp.ml: Expr Func Glaf_ir Grid Hashtbl Ir_module List Stmt

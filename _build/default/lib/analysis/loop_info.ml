@@ -1,0 +1,64 @@
+(** Results of the auto-parallelization analysis for one loop. *)
+
+open Glaf_ir
+
+(** Loop classes used by the paper's directive-pruning study
+    (Table 2).  v1 removes directives from [Init_zero] and
+    [Init_broadcast] loops, v2 from [Simple_single] (including simple
+    reductions), v3 from [Simple_double]. *)
+type loop_class =
+  | Init_zero       (** a(i) = 0 — compiler emits memset *)
+  | Init_broadcast  (** a(i) = scalar or a(i) = b(i) — SIMD copy *)
+  | Simple_single   (** any remaining non-nested loop (incl. reductions) *)
+  | Simple_double   (** double nest without control flow *)
+  | Complex         (** nests carrying control flow or calls *)
+[@@deriving show { with_path = false }, eq]
+
+type reduction = {
+  red_var : string;
+  red_op : Stmt.red_op;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Why a loop was rejected for parallelization. *)
+type obstacle =
+  | Loop_carried of string  (** grid with a cross-iteration dependence *)
+  | Scalar_dependence of string
+      (** scalar read before written, not a recognized reduction *)
+  | Nonlinear_subscript of string
+  | Unsafe_call of string
+  | Early_exit  (** EXIT / RETURN inside the loop body *)
+  | While_loop
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  parallel : bool;
+  obstacles : obstacle list;  (** empty iff [parallel] *)
+  reductions : reduction list;
+  private_vars : string list;
+      (** scalars (incl. inner loop indices) to privatize *)
+  classification : loop_class;
+  collapsible : bool;
+      (** perfect double nest whose inner bounds are outer-invariant *)
+  trip_count : int option;  (** compile-time trip count if bounds are constant *)
+}
+[@@deriving show { with_path = false }, eq]
+
+let obstacle_to_string = function
+  | Loop_carried g -> Printf.sprintf "loop-carried dependence on grid %s" g
+  | Scalar_dependence s -> Printf.sprintf "scalar dependence on %s" s
+  | Nonlinear_subscript g -> Printf.sprintf "nonlinear subscript on grid %s" g
+  | Unsafe_call f -> Printf.sprintf "call to %s with unanalyzable effects" f
+  | Early_exit -> "early exit from loop body"
+  | While_loop -> "while loop"
+
+let to_directive info : Stmt.directive option =
+  if not info.parallel then None
+  else
+    Some
+      {
+        Stmt.private_vars = info.private_vars;
+        reductions = List.map (fun r -> (r.red_op, r.red_var)) info.reductions;
+        collapse = (if info.collapsible then 2 else 1);
+        num_threads = None;
+      }

@@ -1,0 +1,1 @@
+lib/codegen/c_gen.ml: Buffer Expr Float Format Func Glaf_ir Grid Ir_module List Printf Stmt String Types

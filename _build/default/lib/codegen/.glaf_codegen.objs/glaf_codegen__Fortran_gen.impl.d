@@ -1,0 +1,1 @@
+lib/codegen/fortran_gen.ml: Ast Expr Func Glaf_fortran Glaf_ir Grid Ir_module List Option Pp_ast Stmt String Types

@@ -1,0 +1,1 @@
+lib/codegen/opencl_gen.ml: Buffer C_gen Expr Func Glaf_ir Grid Ir_module List Printf Stmt String Types

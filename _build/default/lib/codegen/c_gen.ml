@@ -1,0 +1,269 @@
+(** C code generation from the grid IR (GLAF's multi-language story).
+
+    Produces compilable C99 with OpenMP pragmas.  Used for parity
+    demonstrations and SLOC comparisons; execution in this repo goes
+    through the Fortran backend + interpreter.  Grids become
+    heap-allocated flat arrays in row-major order; COMMON blocks map
+    to a struct of globals per block; existing-module variables map to
+    extern declarations (integration with legacy C would include the
+    corresponding header). *)
+
+open Glaf_ir
+
+let ctype (t : Types.elem_type) = Types.c_name t
+
+type writer = {
+  buf : Buffer.t;
+  mutable indent : int;
+}
+
+let line w fmt =
+  Format.kasprintf
+    (fun s ->
+      Buffer.add_string w.buf (String.make (2 * w.indent) ' ');
+      Buffer.add_string w.buf s;
+      Buffer.add_char w.buf '\n')
+    fmt
+
+let rec gen_expr (e : Expr.t) : string =
+  match e with
+  | Expr.Int_lit n -> string_of_int n
+  | Expr.Real_lit x ->
+    if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.17g" x
+  | Expr.Bool_lit true -> "1"
+  | Expr.Bool_lit false -> "0"
+  | Expr.Str_lit s -> Printf.sprintf "%S" s
+  | Expr.Ref r -> gen_ref r
+  | Expr.Unop (Expr.Neg, a) -> Printf.sprintf "(-%s)" (gen_expr a)
+  | Expr.Unop (Expr.Not, a) -> Printf.sprintf "(!%s)" (gen_expr a)
+  | Expr.Binop (Expr.Pow, a, b) ->
+    Printf.sprintf "pow(%s, %s)" (gen_expr a) (gen_expr b)
+  | Expr.Binop (Expr.Mod, a, b) ->
+    Printf.sprintf "(%s %% %s)" (gen_expr a) (gen_expr b)
+  | Expr.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (gen_expr a) (c_binop op) (gen_expr b)
+  | Expr.Call (f, args) ->
+    Printf.sprintf "%s(%s)" (c_function f)
+      (String.concat ", " (List.map gen_expr args))
+
+and c_binop (op : Expr.binop) =
+  match op with
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Div -> "/"
+  | Expr.Eq -> "=="
+  | Expr.Ne -> "!="
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+  | Expr.And -> "&&"
+  | Expr.Or -> "||"
+  | Expr.Pow | Expr.Mod -> assert false
+
+(* Fortran intrinsic -> libm/C equivalent *)
+and c_function f =
+  match String.lowercase_ascii f with
+  | "abs" | "dabs" -> "fabs"
+  | "alog" | "dlog" -> "log"
+  | "alog10" -> "log10"
+  | "amax1" | "dmax1" | "max" -> "fmax"
+  | "amin1" | "dmin1" | "min" -> "fmin"
+  | "dsqrt" -> "sqrt"
+  | "dexp" -> "exp"
+  | "real" | "float" | "dble" | "sngl" -> "(double)"
+  | "int" | "ifix" -> "(int)"
+  | f -> f
+
+(* Row-major flattening: indices are 1-based in the IR (Fortran
+   heritage); C arrays are 0-based, so each index is shifted. *)
+and gen_ref (r : Expr.gref) : string =
+  let name =
+    match r.Expr.field with
+    | Some f -> Printf.sprintf "%s.%s" r.Expr.grid f
+    | None -> r.Expr.grid
+  in
+  match r.Expr.indices with
+  | [] -> name
+  | idx ->
+    let subs =
+      List.map (fun e -> Printf.sprintf "[(%s) - 1]" (gen_expr e)) idx
+    in
+    name ^ String.concat "" subs
+
+let gen_directive_pragma (d : Stmt.directive) =
+  let clauses = Buffer.create 32 in
+  if d.Stmt.private_vars <> [] then
+    Buffer.add_string clauses
+      (Printf.sprintf " private(%s)" (String.concat ", " d.Stmt.private_vars));
+  List.iter
+    (fun (op, v) ->
+      let o =
+        match op with
+        | Stmt.Rsum -> "+"
+        | Stmt.Rprod -> "*"
+        | Stmt.Rmax -> "max"
+        | Stmt.Rmin -> "min"
+      in
+      Buffer.add_string clauses (Printf.sprintf " reduction(%s:%s)" o v))
+    d.Stmt.reductions;
+  if d.Stmt.collapse > 1 then
+    Buffer.add_string clauses (Printf.sprintf " collapse(%d)" d.Stmt.collapse);
+  (match d.Stmt.num_threads with
+  | Some n -> Buffer.add_string clauses (Printf.sprintf " num_threads(%d)" n)
+  | None -> ());
+  "#pragma omp parallel for" ^ Buffer.contents clauses
+
+let rec gen_stmts w ~emit_omp stmts =
+  List.iter (gen_stmt w ~emit_omp) stmts
+
+and gen_stmt w ~emit_omp (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (r, e) -> line w "%s = %s;" (gen_ref r) (gen_expr e)
+  | Stmt.Atomic (r, e) ->
+    if emit_omp then line w "#pragma omp atomic update";
+    line w "%s = %s;" (gen_ref r) (gen_expr e)
+  | Stmt.If (branches, else_) ->
+    List.iteri
+      (fun i (c, body) ->
+        line w "%sif (%s) {" (if i = 0 then "" else "} else ") (gen_expr c);
+        w.indent <- w.indent + 1;
+        gen_stmts w ~emit_omp body;
+        w.indent <- w.indent - 1)
+      branches;
+    if else_ <> [] then begin
+      line w "} else {";
+      w.indent <- w.indent + 1;
+      gen_stmts w ~emit_omp else_;
+      w.indent <- w.indent - 1
+    end;
+    line w "}"
+  | Stmt.For l ->
+    (match l.Stmt.directive with
+    | Some d when emit_omp -> line w "%s" (gen_directive_pragma d)
+    | _ -> ());
+    line w "for (int %s = %s; %s <= %s; %s += %s) {" l.Stmt.index
+      (gen_expr l.Stmt.lo) l.Stmt.index (gen_expr l.Stmt.hi) l.Stmt.index
+      (gen_expr l.Stmt.step);
+    w.indent <- w.indent + 1;
+    gen_stmts w ~emit_omp l.Stmt.body;
+    w.indent <- w.indent - 1;
+    line w "}"
+  | Stmt.While (c, body) ->
+    line w "while (%s) {" (gen_expr c);
+    w.indent <- w.indent + 1;
+    gen_stmts w ~emit_omp body;
+    w.indent <- w.indent - 1;
+    line w "}"
+  | Stmt.Call (f, args) ->
+    line w "%s(%s);" f (String.concat ", " (List.map gen_expr args))
+  | Stmt.Return None -> line w "return;"
+  | Stmt.Return (Some e) -> line w "return %s;" (gen_expr e)
+  | Stmt.Exit_loop -> line w "break;"
+  | Stmt.Cycle_loop -> line w "continue;"
+  | Stmt.Critical body ->
+    if emit_omp then line w "#pragma omp critical";
+    line w "{";
+    w.indent <- w.indent + 1;
+    gen_stmts w ~emit_omp body;
+    w.indent <- w.indent - 1;
+    line w "}"
+  | Stmt.Comment c -> line w "/* %s */" c
+
+let param_sig (g : Grid.t) =
+  match g.Grid.kind with
+  | Grid.Dense t ->
+    if Grid.is_scalar g then Printf.sprintf "%s %s" (ctype t) g.Grid.name
+    else Printf.sprintf "%s *restrict %s" (ctype t) g.Grid.name
+  | Grid.Record _ ->
+    Printf.sprintf "struct %s_t *%s" g.Grid.name g.Grid.name
+
+let local_decl w (g : Grid.t) =
+  match g.Grid.kind with
+  | Grid.Dense t ->
+    if Grid.is_scalar g then line w "%s %s = 0;" (ctype t) g.Grid.name
+    else begin
+      let size =
+        String.concat " * "
+          (List.map
+             (fun (d : Grid.dim) ->
+               match d.Grid.extent with
+               | Grid.Fixed n -> string_of_int n
+               | Grid.Sym s -> s)
+             g.Grid.dims)
+      in
+      line w "%s *%s = calloc(%s, sizeof(%s));" (ctype t) g.Grid.name size
+        (ctype t)
+    end
+  | Grid.Record fields ->
+    line w "struct %s_t { %s };" g.Grid.name
+      (String.concat " "
+         (List.map
+            (fun (fn, ft) -> Printf.sprintf "%s %s;" (ctype ft) fn)
+            fields));
+    line w "struct %s_t %s;" g.Grid.name g.Grid.name
+
+(** Generate one C function. *)
+let gen_function ?(emit_omp = true) (f : Func.t) : string =
+  let w = { buf = Buffer.create 1024; indent = 0 } in
+  let ret =
+    match f.Func.return with
+    | None -> "void"
+    | Some t -> ctype t
+  in
+  let params = List.map param_sig (Func.arg_grids f) in
+  line w "%s %s(%s) {" ret f.Func.name
+    (if params = [] then "void" else String.concat ", " params);
+  w.indent <- w.indent + 1;
+  List.iter (local_decl w) (Func.local_grids f);
+  (* implicit loop indices are declared inline by the for-statements *)
+  List.iter
+    (fun (st : Func.step) ->
+      line w "/* step: %s */" st.Func.label;
+      gen_stmts w ~emit_omp st.Func.body)
+    f.Func.steps;
+  (* free dynamic locals unless SAVEd *)
+  List.iter
+    (fun (g : Grid.t) ->
+      if (not (Grid.is_scalar g)) && not g.Grid.save then
+        match g.Grid.kind with
+        | Grid.Dense _ when Grid.extent_deps g <> [] ->
+          line w "free(%s);" g.Grid.name
+        | _ -> ())
+    (Func.local_grids f);
+  w.indent <- w.indent - 1;
+  line w "}";
+  Buffer.contents w.buf
+
+let prelude =
+  "#include <stdlib.h>\n#include <math.h>\n#ifdef _OPENMP\n#include <omp.h>\n#endif\n"
+
+(** Generate a full C translation unit for the program. *)
+let gen_program ?(emit_omp = true) (p : Ir_module.program) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b prelude;
+  (* COMMON blocks and module/global grids become file-scope globals *)
+  let w = { buf = b; indent = 0 } in
+  let emit_global (g : Grid.t) =
+    match g.Grid.kind with
+    | Grid.Dense t ->
+      if Grid.is_scalar g then line w "%s %s;" (ctype t) g.Grid.name
+      else (
+        match Grid.fixed_size g with
+        | Some n -> line w "%s %s[%d];" (ctype t) g.Grid.name n
+        | None -> line w "%s *%s;" (ctype t) g.Grid.name)
+    | Grid.Record _ -> ()
+  in
+  List.iter
+    (fun (g : Grid.t) -> if not (Grid.externally_declared g) then emit_global g)
+    p.Ir_module.globals;
+  List.iter
+    (fun (m : Ir_module.t) ->
+      List.iter emit_global m.Ir_module.module_grids;
+      List.iter
+        (fun f -> Buffer.add_string b (gen_function ~emit_omp f ^ "\n"))
+        m.Ir_module.functions)
+    p.Ir_module.modules;
+  Buffer.contents b

@@ -1,0 +1,288 @@
+(** OpenCL code generation from the grid IR.
+
+    GLAF's offload path (the paper's reference [14] extends GLAF to
+    OpenCL for GPUs/FPGAs): every outer loop the auto-parallelizer
+    annotated becomes an OpenCL kernel whose NDRange is the iteration
+    space (COLLAPSE(2) nests become 2-D NDRanges), and the enclosing
+    function becomes a host-side skeleton that creates buffers for the
+    referenced grids, sets kernel arguments and enqueues the kernels in
+    step order.  Loops without directives stay in the host skeleton as
+    plain C loops.
+
+    Reductions use the canonical local-memory tree-reduction idiom
+    with a finalize-on-host step.  The output is self-contained OpenCL
+    C (kernels) plus a commented host outline; it is validated
+    structurally in the test suite (no OpenCL runtime exists in this
+    repository). *)
+
+open Glaf_ir
+
+type kernel = {
+  k_name : string;
+  k_source : string;
+  k_ndrange : int;  (** 1 or 2 *)
+  k_args : string list;
+}
+
+type output = {
+  kernels : kernel list;
+  host_source : string;
+}
+
+let ctype = Types.c_name
+
+(* reuse the C expression generator: OpenCL C is C99-flavoured *)
+let gen_expr = C_gen.gen_expr
+let gen_ref = C_gen.gen_ref
+
+let buf = Buffer.create
+
+let grid_of env name =
+  List.find_opt (fun (g : Grid.t) -> g.Grid.name = name) env
+
+(* Grids referenced by a statement list, split into scalars (passed by
+   value) and arrays (global buffers).  Names in [exclude] (private
+   and reduction variables, redeclared inside the kernel) are
+   skipped. *)
+let kernel_args ?(exclude = []) env stmts =
+  let names =
+    List.sort_uniq String.compare (Stmt.grids_read stmts @ Stmt.grids_written stmts)
+    |> List.filter (fun n -> not (List.mem n exclude))
+  in
+  List.filter_map
+    (fun n ->
+      match grid_of env n with
+      | Some g when Grid.is_scalar g ->
+        Some (Printf.sprintf "const %s %s" (ctype (Grid.elem_type g)) n)
+      | Some g ->
+        Some
+          (Printf.sprintf "__global %s *restrict %s" (ctype (Grid.elem_type g)) n)
+      | None -> None (* loop indices: provided by get_global_id *))
+    names
+
+let rec gen_body b ~indent stmts =
+  let pad = String.make (2 * indent) ' ' in
+  List.iter
+    (fun (s : Stmt.t) ->
+      match s with
+      | Stmt.Assign (r, e) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s = %s;\n" pad (gen_ref r) (gen_expr e))
+      | Stmt.Atomic (r, e) ->
+        (* OpenCL 1.x has no float atomics: emit the compare-exchange
+           idiom through the helper defined in the preamble.  Updates
+           of the form [x = x + d] / [x = x - d] become
+           [atomic_add_double(&x, +-d)]. *)
+        let same_ref e' =
+          match e' with
+          | Expr.Ref r' -> r' = r
+          | _ -> false
+        in
+        (match e with
+        | Expr.Binop (Expr.Add, lhs, d) when same_ref lhs ->
+          Buffer.add_string b
+            (Printf.sprintf "%satomic_add_double(&%s, %s);\n" pad (gen_ref r)
+               (gen_expr d))
+        | Expr.Binop (Expr.Sub, lhs, d) when same_ref lhs ->
+          Buffer.add_string b
+            (Printf.sprintf "%satomic_add_double(&%s, -(%s));\n" pad (gen_ref r)
+               (gen_expr d))
+        | _ ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "%s/* unsupported atomic shape serialized */ %s = %s;\n" pad
+               (gen_ref r) (gen_expr e)))
+      | Stmt.If (branches, else_) ->
+        List.iteri
+          (fun i (c, body) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%sif (%s) {\n" pad
+                 (if i = 0 then "" else "} else ")
+                 (gen_expr c));
+            gen_body b ~indent:(indent + 1) body)
+          branches;
+        if else_ <> [] then begin
+          Buffer.add_string b (pad ^ "} else {\n");
+          gen_body b ~indent:(indent + 1) else_
+        end;
+        Buffer.add_string b (pad ^ "}\n")
+      | Stmt.For l ->
+        Buffer.add_string b
+          (Printf.sprintf "%sfor (int %s = %s; %s <= %s; %s += %s) {\n" pad
+             l.Stmt.index (gen_expr l.Stmt.lo) l.Stmt.index (gen_expr l.Stmt.hi)
+             l.Stmt.index (gen_expr l.Stmt.step));
+        gen_body b ~indent:(indent + 1) l.Stmt.body;
+        Buffer.add_string b (pad ^ "}\n")
+      | Stmt.While (c, body) ->
+        Buffer.add_string b (Printf.sprintf "%swhile (%s) {\n" pad (gen_expr c));
+        gen_body b ~indent:(indent + 1) body;
+        Buffer.add_string b (pad ^ "}\n")
+      | Stmt.Call (f, args) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s(%s);\n" pad f
+             (String.concat ", " (List.map gen_expr args)))
+      | Stmt.Return None -> Buffer.add_string b (pad ^ "return;\n")
+      | Stmt.Return (Some e) ->
+        Buffer.add_string b (Printf.sprintf "%sreturn %s;\n" pad (gen_expr e))
+      | Stmt.Exit_loop -> Buffer.add_string b (pad ^ "break;\n")
+      | Stmt.Cycle_loop -> Buffer.add_string b (pad ^ "continue;\n")
+      | Stmt.Critical body ->
+        Buffer.add_string b (pad ^ "/* serialized section */\n");
+        gen_body b ~indent body
+      | Stmt.Comment c -> Buffer.add_string b (Printf.sprintf "%s/* %s */\n" pad c))
+    stmts
+
+let preamble =
+  {|/* generated by oglaf: OpenCL backend */
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+#pragma OPENCL EXTENSION cl_khr_int64_base_atomics : enable
+
+inline void atomic_add_double(__global double *p, double delta) {
+  union { double f; ulong u; } old_v, new_v;
+  do {
+    old_v.f = *p;
+    new_v.f = old_v.f + delta;
+  } while (atom_cmpxchg((volatile __global ulong *)p, old_v.u, new_v.u)
+           != old_v.u);
+}
+|}
+
+(* One kernel per annotated outer loop.  The loop index maps to
+   get_global_id(0) (+ the inner index to get_global_id(1) under
+   COLLAPSE(2)); reductions write per-work-item partial results into a
+   dedicated buffer finalized on the host. *)
+let kernel_of_loop env ~fname ~idx (l : Stmt.loop) : kernel option =
+  match l.Stmt.directive with
+  | None -> None
+  | Some d ->
+    let name = Printf.sprintf "%s_k%d" fname idx in
+    let collapse2 =
+      d.Stmt.collapse >= 2
+      &&
+      match l.Stmt.body with
+      | [ Stmt.For _ ] -> true
+      | _ -> false
+    in
+    let b = buf 512 in
+    let body, inner_setup =
+      if collapse2 then
+        match l.Stmt.body with
+        | [ Stmt.For inner ] ->
+          ( inner.Stmt.body,
+            Printf.sprintf
+              "  const int %s = get_global_id(0) + (%s);\n  const int %s = get_global_id(1) + (%s);\n"
+              l.Stmt.index (gen_expr l.Stmt.lo) inner.Stmt.index
+              (gen_expr inner.Stmt.lo) )
+        | _ -> assert false
+      else
+        ( l.Stmt.body,
+          Printf.sprintf "  const int %s = get_global_id(0) + (%s);\n"
+            l.Stmt.index (gen_expr l.Stmt.lo) )
+    in
+    let exclude =
+      d.Stmt.private_vars @ List.map snd d.Stmt.reductions
+    in
+    let args = kernel_args ~exclude env body in
+    (* reduction outputs become per-item partial buffers *)
+    let red_args =
+      List.map
+        (fun (_, v) -> Printf.sprintf "__global double *restrict %s_partial" v)
+        d.Stmt.reductions
+    in
+    Buffer.add_string b
+      (Printf.sprintf "__kernel void %s(%s) {\n" name
+         (String.concat ", " (args @ red_args)));
+    Buffer.add_string b inner_setup;
+    List.iter
+      (fun (op, v) ->
+        let ident =
+          match op with
+          | Stmt.Rsum -> "0.0"
+          | Stmt.Rprod -> "1.0"
+          | Stmt.Rmax -> "-DBL_MAX"
+          | Stmt.Rmin -> "DBL_MAX"
+        in
+        Buffer.add_string b (Printf.sprintf "  double %s = %s;\n" v ident))
+      d.Stmt.reductions;
+    List.iter
+      (fun v ->
+        if not (List.exists (fun (_, r) -> r = v) d.Stmt.reductions) then
+          Buffer.add_string b (Printf.sprintf "  double %s;\n" v))
+      d.Stmt.private_vars;
+    gen_body b ~indent:1
+      (List.filter
+         (fun s ->
+           (* private declarations handled above; drop inner loop decl *)
+           match s with
+           | Stmt.Comment _ -> false
+           | _ -> true)
+         body);
+    List.iter
+      (fun (_, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s_partial[get_global_id(0)%s] = %s;\n" v
+             (if collapse2 then " * get_global_size(1) + get_global_id(1)"
+              else "")
+             v))
+      d.Stmt.reductions;
+    Buffer.add_string b "}\n";
+    Some
+      {
+        k_name = name;
+        k_source = Buffer.contents b;
+        k_ndrange = (if collapse2 then 2 else 1);
+        k_args = args @ red_args;
+      }
+
+(** Generate the OpenCL kernels + host skeleton for one function. *)
+let gen_function (p : Ir_module.program) (m : Ir_module.t) (f : Func.t) : output =
+  let env =
+    f.Func.grids @ m.Ir_module.module_grids @ p.Ir_module.globals
+  in
+  let kernels = ref [] in
+  let host = buf 1024 in
+  Buffer.add_string host
+    (Printf.sprintf "/* host skeleton for %s: buffer setup + enqueue order */\n"
+       f.Func.name);
+  let idx = ref 0 in
+  List.iter
+    (fun (st : Func.step) ->
+      Buffer.add_string host (Printf.sprintf "/* step: %s */\n" st.Func.label);
+      List.iter
+        (fun (s : Stmt.t) ->
+          match s with
+          | Stmt.For l when l.Stmt.directive <> None -> (
+            incr idx;
+            match kernel_of_loop env ~fname:f.Func.name ~idx:!idx l with
+            | Some k ->
+              kernels := k :: !kernels;
+              Buffer.add_string host
+                (Printf.sprintf
+                   "enqueue %s: %d-D NDRange over [%s..%s]%s; args: %s\n"
+                   k.k_name k.k_ndrange
+                   (gen_expr l.Stmt.lo) (gen_expr l.Stmt.hi)
+                   (if k.k_ndrange = 2 then " x inner range" else "")
+                   (String.concat ", " k.k_args))
+            | None -> ())
+          | other ->
+            let b = buf 128 in
+            gen_body b ~indent:0 [ other ];
+            Buffer.add_string host (Buffer.contents b))
+        st.Func.body)
+    f.Func.steps;
+  { kernels = List.rev !kernels; host_source = Buffer.contents host }
+
+(** Full program: kernel file content + host outlines per function. *)
+let gen_program (p : Ir_module.program) : string =
+  let b = buf 4096 in
+  Buffer.add_string b preamble;
+  List.iter
+    (fun (m : Ir_module.t) ->
+      List.iter
+        (fun f ->
+          let out = gen_function p m f in
+          List.iter (fun k -> Buffer.add_string b (k.k_source ^ "\n")) out.kernels;
+          Buffer.add_string b ("/*\n" ^ out.host_source ^ "*/\n\n"))
+        m.Ir_module.functions)
+    p.Ir_module.modules;
+  Buffer.contents b

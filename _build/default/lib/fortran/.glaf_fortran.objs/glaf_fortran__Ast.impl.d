@@ -1,0 +1,1 @@
+lib/fortran/ast.pp.ml: List Option Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/fortran/lexer.pp.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/fortran/line_scanner.pp.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/fortran/parser.pp.ml: Array Ast Format Lexer Line_scanner List

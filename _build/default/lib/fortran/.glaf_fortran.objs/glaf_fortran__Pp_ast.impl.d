@@ -1,0 +1,1 @@
+lib/fortran/pp_ast.pp.ml: Ast Buffer Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/fortran/sloc.pp.ml: Ast Buffer Line_scanner List Pp_ast

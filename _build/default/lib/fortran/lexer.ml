@@ -1,0 +1,255 @@
+(** Tokenizer for one logical Fortran line.
+
+    Keywords are not distinguished from identifiers here — Fortran has
+    no reserved words; the parser decides from context.  Dotted
+    operators ([.and.], [.true.], ...) become dedicated tokens. *)
+
+type token =
+  | Ident of string  (** lower-cased *)
+  | Int of int
+  | Real of float * bool  (** is_double *)
+  | Str of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Colon
+  | Dcolon  (** :: *)
+  | Percent
+  | Assign_tok  (** = *)
+  | Arrow  (** => *)
+  | Plus
+  | Minus
+  | Star
+  | Dstar  (** ** *)
+  | Slash
+  | Dslash  (** // *)
+  | Eq_tok  (** == or .eq. *)
+  | Ne_tok
+  | Lt_tok
+  | Le_tok
+  | Gt_tok
+  | Ge_tok
+  | And_tok
+  | Or_tok
+  | Not_tok
+  | Eqv_tok
+  | Neqv_tok
+  | True_tok
+  | False_tok
+  | Eof
+
+let pp_token ppf t =
+  let s =
+    match t with
+    | Ident s -> Printf.sprintf "ident %S" s
+    | Int n -> Printf.sprintf "int %d" n
+    | Real (x, d) -> Printf.sprintf "real %g%s" x (if d then "d" else "")
+    | Str s -> Printf.sprintf "string %S" s
+    | Lparen -> "(" | Rparen -> ")" | Comma -> "," | Colon -> ":"
+    | Dcolon -> "::" | Percent -> "%" | Assign_tok -> "=" | Arrow -> "=>"
+    | Plus -> "+" | Minus -> "-" | Star -> "*" | Dstar -> "**"
+    | Slash -> "/" | Dslash -> "//"
+    | Eq_tok -> "==" | Ne_tok -> "/=" | Lt_tok -> "<" | Le_tok -> "<="
+    | Gt_tok -> ">" | Ge_tok -> ">="
+    | And_tok -> ".and." | Or_tok -> ".or." | Not_tok -> ".not."
+    | Eqv_tok -> ".eqv." | Neqv_tok -> ".neqv."
+    | True_tok -> ".true." | False_tok -> ".false."
+    | Eof -> "<eof>"
+  in
+  Format.pp_print_string ppf s
+
+exception Lex_error of string
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Scan a number starting at [i]; returns token and next index.
+   Handles: 123, 1.5, "1.", ".5", 1e5, 1.5e-3, 1.0d0 / 2d0 (double),
+   and kind suffixes 1.0_8 / 1.0_dp (double).  A dot followed by a
+   letter other than an exponent marker ends the number, so "1.and."
+   lexes as [1] [.and.]. *)
+let scan_number s i =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let peek j = if j < n then Some s.[j] else None in
+  let rec digits j =
+    match peek j with
+    | Some c when is_digit c ->
+      Buffer.add_char buf c;
+      digits (j + 1)
+    | _ -> j
+  in
+  let j = digits i in
+  let saw_dot, j =
+    match (peek j, peek (j + 1)) with
+    | Some '.', Some c when is_digit c ->
+      Buffer.add_char buf '.';
+      (true, digits (j + 1))
+    | Some '.', Some ('e' | 'E' | 'd' | 'D') ->
+      (* "1.e5" / "1.d0": dot belongs to the number only if an exponent
+         follows; otherwise it is ".d..."-style nonsense we reject later *)
+      Buffer.add_char buf '.';
+      (true, j + 1)
+    | Some '.', Some c when is_alpha c -> (false, j) (* dotted operator *)
+    | Some '.', _ ->
+      Buffer.add_char buf '.';
+      (true, j + 1)
+    | _ -> (false, j)
+  in
+  let is_double = ref false in
+  let saw_exp = ref false in
+  let j =
+    match peek j with
+    | Some (('e' | 'E' | 'd' | 'D') as c) -> (
+      let sign_ok k =
+        match peek k with
+        | Some c2 when is_digit c2 -> Some k
+        | Some ('+' | '-') -> (
+          match peek (k + 1) with
+          | Some c3 when is_digit c3 -> Some k
+          | _ -> None)
+        | _ -> None
+      in
+      match sign_ok (j + 1) with
+      | None -> j
+      | Some _ ->
+        saw_exp := true;
+        if c = 'd' || c = 'D' then is_double := true;
+        Buffer.add_char buf 'e';
+        let j =
+          match peek (j + 1) with
+          | Some (('+' | '-') as sg) ->
+            Buffer.add_char buf sg;
+            j + 2
+          | _ -> j + 1
+        in
+        digits j)
+    | _ -> j
+  in
+  (* kind suffix: _8, _dp *)
+  let j =
+    if j < n && s.[j] = '_' then begin
+      let k = ref (j + 1) in
+      while !k < n && is_alnum s.[!k] do
+        incr k
+      done;
+      let kind = String.lowercase_ascii (String.sub s (j + 1) (!k - j - 1)) in
+      if kind = "8" || kind = "dp" then is_double := true;
+      !k
+    end
+    else j
+  in
+  let text = Buffer.contents buf in
+  let tok =
+    if saw_dot || !saw_exp || !is_double then
+      Real (float_of_string text, !is_double)
+    else
+      match int_of_string_opt text with
+      | Some v -> Int v
+      | None -> Real (float_of_string text, false)
+  in
+  (tok, j)
+
+let dotted_ops =
+  [
+    ("and", And_tok); ("or", Or_tok); ("not", Not_tok);
+    ("eq", Eq_tok); ("ne", Ne_tok); ("lt", Lt_tok); ("le", Le_tok);
+    ("gt", Gt_tok); ("ge", Ge_tok); ("eqv", Eqv_tok); ("neqv", Neqv_tok);
+    ("true", True_tok); ("false", False_tok);
+  ]
+
+(** Tokenize one logical line. *)
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = line.[i] in
+      if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if is_digit c then begin
+        let tok, j = scan_number line i in
+        push tok;
+        go j
+      end
+      else if c = '.' && i + 1 < n && is_digit line.[i + 1] then begin
+        let tok, j = scan_number line i in
+        push tok;
+        go j
+      end
+      else if c = '.' then begin
+        (* dotted operator *)
+        let j = ref (i + 1) in
+        while !j < n && is_alpha line.[!j] do
+          incr j
+        done;
+        if !j < n && line.[!j] = '.' then begin
+          let word = String.lowercase_ascii (String.sub line (i + 1) (!j - i - 1)) in
+          match List.assoc_opt word dotted_ops with
+          | Some t ->
+            push t;
+            go (!j + 1)
+          | None -> raise (Lex_error (Printf.sprintf "unknown operator .%s." word))
+        end
+        else raise (Lex_error "stray '.'")
+      end
+      else if is_alpha c then begin
+        let j = ref i in
+        while !j < n && is_alnum line.[!j] do
+          incr j
+        done;
+        push (Ident (String.lowercase_ascii (String.sub line i (!j - i))));
+        go !j
+      end
+      else if c = '\'' || c = '"' then begin
+        let quote = c in
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error "unterminated string")
+          else if line.[j] = quote then
+            if j + 1 < n && line.[j + 1] = quote then begin
+              Buffer.add_char buf quote;
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf line.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        push (Str (Buffer.contents buf));
+        go j
+      end
+      else
+        let two = if i + 1 < n then String.sub line i 2 else "" in
+        match two with
+        | "::" -> push Dcolon; go (i + 2)
+        | "**" -> push Dstar; go (i + 2)
+        | "//" -> push Dslash; go (i + 2)
+        | "==" -> push Eq_tok; go (i + 2)
+        | "/=" -> push Ne_tok; go (i + 2)
+        | "<=" -> push Le_tok; go (i + 2)
+        | ">=" -> push Ge_tok; go (i + 2)
+        | "=>" -> push Arrow; go (i + 2)
+        | _ -> (
+          match c with
+          | '(' -> push Lparen; go (i + 1)
+          | ')' -> push Rparen; go (i + 1)
+          | ',' -> push Comma; go (i + 1)
+          | ':' -> push Colon; go (i + 1)
+          | '%' -> push Percent; go (i + 1)
+          | '=' -> push Assign_tok; go (i + 1)
+          | '+' -> push Plus; go (i + 1)
+          | '-' -> push Minus; go (i + 1)
+          | '*' -> push Star; go (i + 1)
+          | '/' -> push Slash; go (i + 1)
+          | '<' -> push Lt_tok; go (i + 1)
+          | '>' -> push Gt_tok; go (i + 1)
+          | c ->
+            raise (Lex_error (Printf.sprintf "unexpected character %C" c)))
+  in
+  go 0;
+  List.rev (Eof :: !toks)

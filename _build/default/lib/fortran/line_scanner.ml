@@ -1,0 +1,132 @@
+(** Logical-line scanner for free-form Fortran.
+
+    Splits raw source into logical lines: strips blank lines and plain
+    comments, joins [&] continuations, and recognizes OpenMP sentinel
+    comments ([!$OMP ...]), which survive as directive lines.  Line
+    numbers refer to the first physical line of each logical line. *)
+
+type line = {
+  lineno : int;
+  text : string;
+  is_directive : bool;  (** an [!$OMP] sentinel line *)
+}
+
+let is_omp_sentinel s =
+  let s = String.trim s in
+  String.length s >= 5
+  && String.lowercase_ascii (String.sub s 0 5) = "!$omp"
+
+(* Remove a trailing comment that is not inside a string literal. *)
+let strip_comment s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i in_str quote =
+    if i >= n then Buffer.contents buf
+    else
+      let c = s.[i] in
+      if in_str then (
+        Buffer.add_char buf c;
+        if c = quote then go (i + 1) false ' ' else go (i + 1) true quote)
+      else if c = '\'' || c = '"' then (
+        Buffer.add_char buf c;
+        go (i + 1) true c)
+      else if c = '!' then Buffer.contents buf
+      else (
+        Buffer.add_char buf c;
+        go (i + 1) false ' ')
+  in
+  go 0 false ' '
+
+(* Split a physical line on ';' statement separators (outside strings). *)
+let split_semicolons s =
+  let n = String.length s in
+  let parts = ref [] in
+  let buf = Buffer.create n in
+  let flush () =
+    let t = String.trim (Buffer.contents buf) in
+    if t <> "" then parts := t :: !parts;
+    Buffer.clear buf
+  in
+  let rec go i in_str quote =
+    if i >= n then flush ()
+    else
+      let c = s.[i] in
+      if in_str then (
+        Buffer.add_char buf c;
+        if c = quote then go (i + 1) false ' ' else go (i + 1) true quote)
+      else if c = '\'' || c = '"' then (
+        Buffer.add_char buf c;
+        go (i + 1) true c)
+      else if c = ';' then (
+        flush ();
+        go (i + 1) false ' ')
+      else (
+        Buffer.add_char buf c;
+        go (i + 1) false ' ')
+  in
+  go 0 false ' ';
+  List.rev !parts
+
+(** Scan [source] into logical lines. *)
+let scan source =
+  let physical = String.split_on_char '\n' source in
+  let result = ref [] in
+  let pending = Buffer.create 80 in
+  let pending_no = ref 0 in
+  let pending_directive = ref false in
+  let flush () =
+    if Buffer.length pending > 0 then begin
+      let text = String.trim (Buffer.contents pending) in
+      if text <> "" then
+        if !pending_directive then
+          result :=
+            { lineno = !pending_no; text; is_directive = true } :: !result
+        else
+          List.iter
+            (fun t ->
+              result :=
+                { lineno = !pending_no; text = t; is_directive = false }
+                :: !result)
+            (split_semicolons text);
+      Buffer.clear pending
+    end;
+    pending_directive := false
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let directive = is_omp_sentinel raw in
+      let body =
+        if directive then
+          (* keep the clause text after the sentinel and any
+             continuation marker *)
+          let t = String.trim raw in
+          String.sub t 5 (String.length t - 5)
+        else strip_comment raw
+      in
+      let body = String.trim body in
+      if body = "" then (if Buffer.length pending = 0 then flush ())
+      else begin
+        (* continuation? previous pending line ended with '&' *)
+        if Buffer.length pending = 0 then begin
+          pending_no := lineno;
+          pending_directive := directive
+        end;
+        let continued = String.length body > 0 && body.[String.length body - 1] = '&' in
+        let body =
+          if continued then String.trim (String.sub body 0 (String.length body - 1))
+          else body
+        in
+        (* leading '&' on continuation lines is optional *)
+        let body =
+          if Buffer.length pending > 0 && String.length body > 0 && body.[0] = '&'
+          then String.trim (String.sub body 1 (String.length body - 1))
+          else body
+        in
+        Buffer.add_char pending ' ';
+        Buffer.add_string pending body;
+        if not continued then flush ()
+      end)
+    physical;
+  flush ();
+  List.rev !result

@@ -1,0 +1,395 @@
+(** Pretty-printer: Fortran AST → free-form source.
+
+    Output is human-readable (the paper stresses GLAF generates
+    "human-readable, compatible code") and reparseable by {!Parser}:
+    [parse_string (to_string cu)] yields an equal AST, a property the
+    test suite checks with qcheck. *)
+
+open Ast
+
+let buf_add = Buffer.add_string
+
+let expr_prec = function
+  | Binop (Or, _, _) -> 1
+  | Binop (And, _, _) -> 2
+  | Unop (Not, _) -> 3
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge), _, _) -> 4
+  | Binop (Concat, _, _) -> 5
+  | Binop ((Add | Sub), _, _) -> 6
+  | Binop ((Mul | Div), _, _) -> 7
+  | Unop ((Neg | Pos), _) -> 8
+  | Binop (Pow, _, _) -> 9
+  | Binop ((Eqv | Neqv), _, _) -> 0
+  | Int_lit _ | Real_lit _ | Logical_lit _ | Str_lit _ | Desig _
+  | Implied_do _ | Section _ ->
+    10
+
+and binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Concat -> "//"
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> ".and."
+  | Or -> ".or."
+  | Eqv -> ".eqv."
+  | Neqv -> ".neqv."
+
+let float_literal x is_double =
+  let s =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.17g" x
+  in
+  if is_double then
+    (* spell as d-exponent *)
+    if String.contains s 'e' then
+      String.map (fun c -> if c = 'e' then 'd' else c) s
+    else s ^ "d0"
+  else s
+
+let rec expr_to_buf b e =
+  match e with
+  | Int_lit n ->
+    if n < 0 then buf_add b (Printf.sprintf "(%d)" n)
+    else buf_add b (string_of_int n)
+  | Real_lit (x, d) -> buf_add b (float_literal x d)
+  | Logical_lit true -> buf_add b ".true."
+  | Logical_lit false -> buf_add b ".false."
+  | Str_lit s ->
+    buf_add b "'";
+    String.iter
+      (fun c -> if c = '\'' then buf_add b "''" else Buffer.add_char b c)
+      s;
+    buf_add b "'"
+  | Desig parts -> desig_to_buf b parts
+  | Unop (op, a) ->
+    let s = match op with Neg -> "-" | Pos -> "+" | Not -> ".not. " in
+    buf_add b s;
+    paren_if b (expr_prec a <= expr_prec e) a
+  | Binop (op, x, y) ->
+    let p = expr_prec e in
+    (* ** is right-associative: parenthesize an equal-precedence left
+       operand there, and an equal-precedence right operand everywhere
+       else (a - (b - c), a / (b / c), ...). *)
+    let left_needs, right_needs =
+      if op = Pow then (expr_prec x <= p, expr_prec y < p)
+      else (expr_prec x < p, expr_prec y <= p)
+    in
+    paren_if b left_needs x;
+    buf_add b " ";
+    buf_add b (binop_str op);
+    buf_add b " ";
+    paren_if b right_needs y
+  | Implied_do (e, v, lo, hi) ->
+    buf_add b "(";
+    expr_to_buf b e;
+    buf_add b (", " ^ v ^ " = ");
+    expr_to_buf b lo;
+    buf_add b ", ";
+    expr_to_buf b hi;
+    buf_add b ")"
+  | Section (lo, hi) ->
+    (match lo with Some e -> expr_to_buf b e | None -> ());
+    buf_add b ":";
+    (match hi with Some e -> expr_to_buf b e | None -> ())
+
+and paren_if b need e =
+  if need then begin
+    buf_add b "(";
+    expr_to_buf b e;
+    buf_add b ")"
+  end
+  else expr_to_buf b e
+
+and desig_to_buf b parts =
+  List.iteri
+    (fun i (name, args) ->
+      if i > 0 then buf_add b "%";
+      buf_add b name;
+      match args with
+      | [] -> ()
+      | args ->
+        buf_add b "(";
+        List.iteri
+          (fun j a ->
+            if j > 0 then buf_add b ", ";
+            expr_to_buf b a)
+          args;
+        buf_add b ")")
+    parts
+
+let expr_to_string e =
+  let b = Buffer.create 64 in
+  expr_to_buf b e;
+  Buffer.contents b
+
+let desig_to_string d =
+  let b = Buffer.create 32 in
+  desig_to_buf b d;
+  Buffer.contents b
+
+(** {1 Statements} *)
+
+type writer = {
+  buf : Buffer.t;
+  mutable indent : int;
+}
+
+let line w fmt =
+  Format.kasprintf
+    (fun s ->
+      buf_add w.buf (String.make (2 * w.indent) ' ');
+      buf_add w.buf s;
+      buf_add w.buf "\n")
+    fmt
+
+let omp_clause_string (d : omp_do) =
+  let b = Buffer.create 64 in
+  if d.omp_private <> [] then
+    buf_add b (" private(" ^ String.concat ", " d.omp_private ^ ")");
+  if d.omp_firstprivate <> [] then
+    buf_add b (" firstprivate(" ^ String.concat ", " d.omp_firstprivate ^ ")");
+  if d.omp_shared <> [] then
+    buf_add b (" shared(" ^ String.concat ", " d.omp_shared ^ ")");
+  List.iter
+    (fun (op, names) ->
+      let ops =
+        match op with Osum -> "+" | Oprod -> "*" | Omax -> "max" | Omin -> "min"
+      in
+      buf_add b (" reduction(" ^ ops ^ ":" ^ String.concat ", " names ^ ")"))
+    d.omp_reduction;
+  if d.omp_collapse > 1 then
+    buf_add b (Printf.sprintf " collapse(%d)" d.omp_collapse);
+  (match d.omp_num_threads with
+  | Some e -> buf_add b (" num_threads(" ^ expr_to_string e ^ ")")
+  | None -> ());
+  (match d.omp_schedule with
+  | Some Static -> buf_add b " schedule(static)"
+  | Some Dynamic -> buf_add b " schedule(dynamic)"
+  | Some Guided -> buf_add b " schedule(guided)"
+  | None -> ());
+  if d.omp_copyprivate <> [] then
+    buf_add b (" copyprivate(" ^ String.concat ", " d.omp_copyprivate ^ ")");
+  Buffer.contents b
+
+let rec stmt_to_buf w s =
+  match s with
+  | Assign (d, e) -> line w "%s = %s" (desig_to_string d) (expr_to_string e)
+  | If_arith (c, s) -> line w "if (%s) %s" (expr_to_string c) (inline_stmt s)
+  | If_block (branches, else_) ->
+    List.iteri
+      (fun i (c, body) ->
+        if i = 0 then line w "if (%s) then" (expr_to_string c)
+        else line w "else if (%s) then" (expr_to_string c);
+        indented w body)
+      branches;
+    if else_ <> [] then begin
+      line w "else";
+      indented w else_
+    end;
+    line w "end if"
+  | Do l ->
+    (match l.do_omp with
+    | Some d -> line w "!$omp parallel do%s" (omp_clause_string d)
+    | None -> ());
+    let step =
+      match l.do_step with
+      | Some e -> ", " ^ expr_to_string e
+      | None -> ""
+    in
+    line w "do %s = %s, %s%s" l.do_var (expr_to_string l.do_lo)
+      (expr_to_string l.do_hi) step;
+    indented w l.do_body;
+    line w "end do";
+    (match l.do_omp with
+    | Some _ -> line w "!$omp end parallel do"
+    | None -> ())
+  | Do_while (c, body) ->
+    line w "do while (%s)" (expr_to_string c);
+    indented w body;
+    line w "end do"
+  | Call (name, args) ->
+    if args = [] then line w "call %s()" name
+    else
+      line w "call %s(%s)" name
+        (String.concat ", " (List.map expr_to_string args))
+  | Return -> line w "return"
+  | Exit -> line w "exit"
+  | Cycle -> line w "cycle"
+  | Continue -> line w "continue"
+  | Stop None -> line w "stop"
+  | Stop (Some m) -> line w "stop '%s'" m
+  | Allocate allocs ->
+    let one (d, exprs) =
+      Printf.sprintf "%s(%s)" (desig_to_string d)
+        (String.concat ", " (List.map expr_to_string exprs))
+    in
+    line w "allocate(%s)" (String.concat ", " (List.map one allocs))
+  | Deallocate ds ->
+    line w "deallocate(%s)" (String.concat ", " (List.map desig_to_string ds))
+  | Print args ->
+    if args = [] then line w "print *"
+    else
+      line w "print *, %s" (String.concat ", " (List.map expr_to_string args))
+  | Omp_atomic s ->
+    line w "!$omp atomic";
+    stmt_to_buf w s
+  | Omp_critical body ->
+    line w "!$omp critical";
+    indented w body;
+    line w "!$omp end critical"
+  | Omp_barrier -> line w "!$omp barrier"
+  | Comment c -> line w "! %s" c
+
+and inline_stmt s =
+  match s with
+  | Assign (d, e) -> Printf.sprintf "%s = %s" (desig_to_string d) (expr_to_string e)
+  | Return -> "return"
+  | Exit -> "exit"
+  | Cycle -> "cycle"
+  | Stop None -> "stop"
+  | Stop (Some m) -> Printf.sprintf "stop '%s'" m
+  | Call (name, args) ->
+    Printf.sprintf "call %s(%s)" name
+      (String.concat ", " (List.map expr_to_string args))
+  | _ -> invalid_arg "inline_stmt: not a simple statement"
+
+and indented w body =
+  w.indent <- w.indent + 1;
+  List.iter (stmt_to_buf w) body;
+  w.indent <- w.indent - 1
+
+(** {1 Declarations} *)
+
+let base_type_str = function
+  | Integer -> "integer"
+  | Real -> "real"
+  | Real8 -> "real*8"
+  | Logical -> "logical"
+  | Character None -> "character(len=*)"
+  | Character (Some n) -> Printf.sprintf "character(len=%d)" n
+  | Derived name -> Printf.sprintf "type(%s)" name
+
+let dims_str dims =
+  let one (lo, hi) =
+    match lo with
+    | Some lo -> expr_to_string lo ^ ":" ^ expr_to_string hi
+    | None -> expr_to_string hi
+  in
+  "(" ^ String.concat ", " (List.map one dims) ^ ")"
+
+let deferred_str rank = "(" ^ String.concat ", " (List.init rank (fun _ -> ":")) ^ ")"
+
+let attr_str = function
+  | Dimension dims -> "dimension" ^ dims_str dims
+  | Allocatable -> "allocatable"
+  | Save -> "save"
+  | Parameter -> "parameter"
+  | Intent_in -> "intent(in)"
+  | Intent_out -> "intent(out)"
+  | Intent_inout -> "intent(inout)"
+  | Pointer -> "pointer"
+  | Target -> "target"
+
+let entity_str e =
+  let b = Buffer.create 32 in
+  buf_add b e.ent_name;
+  (match (e.ent_deferred, e.ent_dims) with
+  | Some rank, _ -> buf_add b (deferred_str rank)
+  | None, Some dims -> buf_add b (dims_str dims)
+  | None, None -> ());
+  (match e.ent_init with
+  | Some init ->
+    buf_add b " = ";
+    buf_add b (expr_to_string init)
+  | None -> ());
+  Buffer.contents b
+
+let rec decl_to_buf w d =
+  match d with
+  | Var_decl { base; attrs; entities } ->
+    let attrs_s =
+      String.concat "" (List.map (fun a -> ", " ^ attr_str a) attrs)
+    in
+    line w "%s%s :: %s" (base_type_str base) attrs_s
+      (String.concat ", " (List.map entity_str entities))
+  | Type_def { type_name; fields } ->
+    line w "type :: %s" type_name;
+    w.indent <- w.indent + 1;
+    List.iter (decl_to_buf w) fields;
+    w.indent <- w.indent - 1;
+    line w "end type %s" type_name
+  | Common (block, names) ->
+    line w "common /%s/ %s" block (String.concat ", " names)
+  | Use (m, []) -> line w "use %s" m
+  | Use (m, only) -> line w "use %s, only: %s" m (String.concat ", " only)
+  | Implicit_none -> line w "implicit none"
+  | External names -> line w "external %s" (String.concat ", " names)
+  | Decl_comment c -> line w "! %s" c
+
+(** {1 Program units} *)
+
+let subprogram_to_buf w (sp : subprogram) =
+  let args = String.concat ", " sp.sub_args in
+  (match sp.sub_kind with
+  | `Subroutine -> line w "subroutine %s(%s)" sp.sub_name args
+  | `Function (Some t) ->
+    line w "%s function %s(%s)" (base_type_str t) sp.sub_name args
+  | `Function None -> line w "function %s(%s)" sp.sub_name args);
+  w.indent <- w.indent + 1;
+  List.iter (decl_to_buf w) sp.sub_decls;
+  List.iter (stmt_to_buf w) sp.sub_body;
+  w.indent <- w.indent - 1;
+  (match sp.sub_kind with
+  | `Subroutine -> line w "end subroutine %s" sp.sub_name
+  | `Function _ -> line w "end function %s" sp.sub_name)
+
+let unit_to_buf w u =
+  match u with
+  | Module { mod_name; mod_decls; mod_contains } ->
+    line w "module %s" mod_name;
+    w.indent <- w.indent + 1;
+    List.iter (decl_to_buf w) mod_decls;
+    w.indent <- w.indent - 1;
+    if mod_contains <> [] then begin
+      line w "contains";
+      w.indent <- w.indent + 1;
+      List.iteri
+        (fun i sp ->
+          if i > 0 then buf_add w.buf "\n";
+          subprogram_to_buf w sp)
+        mod_contains;
+      w.indent <- w.indent - 1
+    end;
+    line w "end module %s" mod_name
+  | Standalone sp -> subprogram_to_buf w sp
+  | Main { main_name; main_decls; main_body } ->
+    line w "program %s" main_name;
+    w.indent <- w.indent + 1;
+    List.iter (decl_to_buf w) main_decls;
+    List.iter (stmt_to_buf w) main_body;
+    w.indent <- w.indent - 1;
+    line w "end program %s" main_name
+
+(** Render a compilation unit to free-form Fortran source. *)
+let to_string (cu : compilation_unit) =
+  let w = { buf = Buffer.create 4096; indent = 0 } in
+  List.iteri
+    (fun i u ->
+      if i > 0 then buf_add w.buf "\n";
+      unit_to_buf w u)
+    cu;
+  Buffer.contents w.buf
+
+let stmt_to_string s =
+  let w = { buf = Buffer.create 256; indent = 0 } in
+  stmt_to_buf w s;
+  Buffer.contents w.buf

@@ -1,0 +1,1 @@
+lib/integration/checker.ml: Format Func Glaf_fortran Glaf_ir Grid Ir_module Legacy_model List Stmt Types

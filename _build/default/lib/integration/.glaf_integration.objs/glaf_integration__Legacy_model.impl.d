@@ -1,0 +1,1 @@
+lib/integration/legacy_model.ml: Ast Glaf_fortran Hashtbl List Option Parser String

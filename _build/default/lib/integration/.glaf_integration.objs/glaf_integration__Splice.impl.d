@@ -1,0 +1,1 @@
+lib/integration/splice.ml: Ast Glaf_fortran List String

@@ -1,0 +1,200 @@
+(** Model of an existing legacy FORTRAN code base.
+
+    Scans parsed legacy source and indexes exactly the entities the
+    paper's integration features must agree with: modules and their
+    variables (§3.1), derived TYPEs and TYPE variables (§3.5), COMMON
+    blocks and their members (§3.2), and subprogram signatures
+    (§3.4).  The GPI uses this to offer grid-import choices; the
+    {!Checker} verifies GLAF-generated code against it. *)
+
+open Glaf_fortran
+
+type var_info = {
+  v_name : string;
+  v_base : Ast.base_type;
+  v_rank : int;
+  v_allocatable : bool;
+}
+
+type type_info = {
+  t_name : string;
+  t_fields : var_info list;
+}
+
+type module_info = {
+  m_name : string;
+  m_vars : var_info list;
+  m_types : type_info list;
+  m_type_vars : (string * string) list;  (** variable name, type name *)
+}
+
+type sub_info = {
+  s_name : string;
+  s_arity : int;
+  s_is_function : bool;
+}
+
+type t = {
+  modules : module_info list;
+  commons : (string * var_info list) list;  (** block -> members *)
+  subprograms : sub_info list;
+}
+
+let vars_of_decls decls =
+  List.concat_map
+    (fun d ->
+      match d with
+      | Ast.Var_decl { base; attrs; entities } ->
+        List.map
+          (fun (e : Ast.entity) ->
+            let rank =
+              match (e.Ast.ent_deferred, e.Ast.ent_dims) with
+              | Some r, _ -> r
+              | None, Some dims -> List.length dims
+              | None, None -> (
+                match
+                  List.find_map
+                    (function Ast.Dimension d -> Some d | _ -> None)
+                    attrs
+                with
+                | Some d -> List.length d
+                | None -> 0)
+            in
+            {
+              v_name = e.Ast.ent_name;
+              v_base = base;
+              v_rank = rank;
+              v_allocatable = List.mem Ast.Allocatable attrs;
+            })
+          entities
+      | _ -> [])
+    decls
+
+let types_of_decls decls =
+  List.filter_map
+    (function
+      | Ast.Type_def { type_name; fields } ->
+        Some { t_name = type_name; t_fields = vars_of_decls fields }
+      | _ -> None)
+    decls
+
+let type_vars_of_decls decls =
+  List.concat_map
+    (fun d ->
+      match d with
+      | Ast.Var_decl { base = Ast.Derived tname; entities; _ } ->
+        List.map (fun (e : Ast.entity) -> (e.Ast.ent_name, tname)) entities
+      | _ -> [])
+    decls
+
+let commons_of_decls ~vars decls =
+  List.filter_map
+    (function
+      | Ast.Common (block, names) ->
+        let members =
+          List.map
+            (fun n ->
+              match List.find_opt (fun v -> v.v_name = n) vars with
+              | Some v -> v
+              | None ->
+                (* implicitly typed COMMON member *)
+                {
+                  v_name = n;
+                  v_base =
+                    (match n.[0] with
+                    | 'i' .. 'n' -> Ast.Integer
+                    | _ -> Ast.Real8);
+                  v_rank = 0;
+                  v_allocatable = false;
+                })
+            names
+        in
+        Some (block, members)
+      | _ -> None)
+    decls
+
+(** Build the model from parsed legacy source. *)
+let of_ast (cu : Ast.compilation_unit) : t =
+  let modules =
+    List.filter_map
+      (function
+        | Ast.Module m ->
+          Some
+            {
+              m_name = m.Ast.mod_name;
+              m_vars = vars_of_decls m.Ast.mod_decls;
+              m_types = types_of_decls m.Ast.mod_decls;
+              m_type_vars = type_vars_of_decls m.Ast.mod_decls;
+            }
+        | _ -> None)
+      cu
+  in
+  let commons =
+    List.concat_map
+      (fun u ->
+        let decls =
+          match u with
+          | Ast.Module m -> m.Ast.mod_decls
+          | Ast.Standalone sp -> sp.Ast.sub_decls
+          | Ast.Main m -> m.Ast.main_decls
+        in
+        let vars = vars_of_decls decls in
+        commons_of_decls ~vars decls
+        @ List.concat_map
+            (fun sp ->
+              let vars = vars_of_decls sp.Ast.sub_decls in
+              commons_of_decls ~vars sp.Ast.sub_decls)
+            (match u with
+            | Ast.Module m -> m.Ast.mod_contains
+            | _ -> []))
+      cu
+  in
+  (* merge duplicate COMMON views, preferring the richest (typed) one *)
+  let commons =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (b, ms) ->
+        match Hashtbl.find_opt tbl b with
+        | None -> Hashtbl.replace tbl b ms
+        | Some old -> if List.length ms > List.length old then Hashtbl.replace tbl b ms)
+      commons;
+    Hashtbl.fold (fun b ms acc -> (b, ms) :: acc) tbl []
+    |> List.sort compare
+  in
+  let subprograms =
+    List.map
+      (fun (sp : Ast.subprogram) ->
+        {
+          s_name = String.lowercase_ascii sp.Ast.sub_name;
+          s_arity = List.length sp.Ast.sub_args;
+          s_is_function = sp.Ast.sub_kind <> `Subroutine;
+        })
+      (Ast.all_subprograms cu)
+  in
+  { modules; commons; subprograms }
+
+let of_source source = of_ast (Parser.parse_string source)
+
+(** {1 Queries} *)
+
+let find_module t name =
+  List.find_opt (fun m -> String.lowercase_ascii m.m_name = String.lowercase_ascii name) t.modules
+
+let find_module_var t ~module_name ~var =
+  Option.bind (find_module t module_name) (fun m ->
+      List.find_opt (fun v -> v.v_name = var) m.m_vars)
+
+let find_type_var t ~module_name ~type_var =
+  Option.bind (find_module t module_name) (fun m ->
+      List.assoc_opt type_var m.m_type_vars)
+
+let find_type_field t ~module_name ~type_name ~field =
+  Option.bind (find_module t module_name) (fun m ->
+      Option.bind
+        (List.find_opt (fun ti -> ti.t_name = type_name) m.m_types)
+        (fun ti -> List.find_opt (fun v -> v.v_name = field) ti.t_fields))
+
+let find_common t block = List.assoc_opt block t.commons
+
+let find_subprogram t name =
+  List.find_opt (fun s -> s.s_name = String.lowercase_ascii name) t.subprograms

@@ -1,0 +1,152 @@
+(** Splicing GLAF-generated code into a legacy code base.
+
+    The paper's workflow (§4.1.1): develop the kernels in GLAF, unit
+    test them against sample inputs via a wrapper, then {e substitute}
+    the original subroutines in the legacy program with the generated
+    ones and run the legacy test suite.  [replace_subprograms] performs
+    exactly that substitution at the AST level; [add_units] appends
+    new generated modules (e.g. the GLAF globals module) ahead of the
+    legacy units so later USE statements resolve. *)
+
+open Glaf_fortran
+
+let lower = String.lowercase_ascii
+
+(** Replace same-named subprograms of [legacy] with versions from
+    [generated]; returns the new compilation unit and the list of
+    names actually substituted. *)
+let replace_subprograms ~legacy ~generated :
+    Ast.compilation_unit * string list =
+  let replacements =
+    List.map
+      (fun (sp : Ast.subprogram) -> (lower sp.Ast.sub_name, sp))
+      (Ast.all_subprograms generated)
+  in
+  let substituted = ref [] in
+  let swap (sp : Ast.subprogram) =
+    match List.assoc_opt (lower sp.Ast.sub_name) replacements with
+    | Some repl ->
+      substituted := sp.Ast.sub_name :: !substituted;
+      repl
+    | None -> sp
+  in
+  let cu =
+    List.map
+      (fun u ->
+        match u with
+        | Ast.Module m ->
+          Ast.Module { m with Ast.mod_contains = List.map swap m.Ast.mod_contains }
+        | Ast.Standalone sp -> Ast.Standalone (swap sp)
+        | Ast.Main _ -> u)
+      legacy
+  in
+  (cu, List.rev !substituted)
+
+(** Names of generated subprograms that do not exist in the legacy
+    code (helper functions GLAF introduced, e.g. interior-loop
+    functions per §3.3) — these must be {e added}, not substituted. *)
+let new_subprograms ~legacy ~generated =
+  let legacy_names =
+    List.map (fun (sp : Ast.subprogram) -> lower sp.Ast.sub_name)
+      (Ast.all_subprograms legacy)
+  in
+  List.filter
+    (fun (sp : Ast.subprogram) -> not (List.mem (lower sp.Ast.sub_name) legacy_names))
+    (Ast.all_subprograms generated)
+
+(** Prepend generated units (modules first, then standalones) so that
+    legacy units can USE them. *)
+let add_units ~legacy ~units : Ast.compilation_unit =
+  let modules, others =
+    List.partition (function Ast.Module _ -> true | _ -> false) units
+  in
+  modules @ others @ legacy
+
+(** Module-preserving substitution: remove every legacy subprogram
+    whose name is re-implemented in [generated] (wherever it lives)
+    and prepend the generated units whole.  This is the right mode
+    when the generated subprograms rely on their generated module's
+    scope (module-scope grids, §3.3) and therefore must stay inside
+    it.  Calls in the remaining legacy code resolve to the generated
+    versions by name.  Returns the integrated unit and the names that
+    were substituted. *)
+let substitute ~legacy ~generated : Ast.compilation_unit * string list =
+  let gen_names =
+    List.map (fun (sp : Ast.subprogram) -> lower sp.Ast.sub_name)
+      (Ast.all_subprograms generated)
+  in
+  let substituted = ref [] in
+  let keep_sub (sp : Ast.subprogram) =
+    if List.mem (lower sp.Ast.sub_name) gen_names then begin
+      substituted := sp.Ast.sub_name :: !substituted;
+      false
+    end
+    else true
+  in
+  let legacy' =
+    List.filter_map
+      (fun u ->
+        match u with
+        | Ast.Standalone sp -> if keep_sub sp then Some u else None
+        | Ast.Module m ->
+          Some
+            (Ast.Module
+               { m with Ast.mod_contains = List.filter keep_sub m.Ast.mod_contains })
+        | Ast.Main _ -> Some u)
+      legacy
+  in
+  (add_units ~legacy:legacy' ~units:generated, List.rev !substituted)
+
+(** Full integration: replace matching subroutines, append brand-new
+    generated helpers into the module that contained the first
+    replaced subprogram (or as standalone units), and prepend any new
+    generated modules.  Returns the integrated compilation unit. *)
+let integrate ~legacy ~generated : Ast.compilation_unit * string list =
+  let replaced_cu, substituted = replace_subprograms ~legacy ~generated in
+  let fresh = new_subprograms ~legacy ~generated in
+  let generated_modules =
+    List.filter_map
+      (function
+        | Ast.Module m ->
+          (* keep only modules that are NOT already present in legacy *)
+          if
+            List.exists
+              (function
+                | Ast.Module lm -> lower lm.Ast.mod_name = lower m.Ast.mod_name
+                | _ -> false)
+              legacy
+          then None
+          else
+            (* strip subprograms that were used for substitution; keep
+               the module shell with its declarations and the fresh
+               helpers it carries *)
+            let keep =
+              List.filter
+                (fun (sp : Ast.subprogram) ->
+                  not (List.mem sp.Ast.sub_name substituted))
+                m.Ast.mod_contains
+            in
+            Some (Ast.Module { m with Ast.mod_contains = keep })
+        | Ast.Standalone _ | Ast.Main _ -> None)
+      generated
+  in
+  let fresh_standalone =
+    List.filter_map
+      (fun (sp : Ast.subprogram) ->
+        (* fresh helpers already inside a kept generated module need no
+           standalone copy *)
+        let inside_kept_module =
+          List.exists
+            (function
+              | Ast.Module m ->
+                List.exists
+                  (fun (s : Ast.subprogram) -> s.Ast.sub_name = sp.Ast.sub_name)
+                  m.Ast.mod_contains
+              | _ -> false)
+            generated_modules
+        in
+        if inside_kept_module then None else Some (Ast.Standalone sp))
+      fresh
+  in
+  (add_units ~legacy:replaced_cu ~units:(generated_modules @ fresh_standalone),
+   substituted)

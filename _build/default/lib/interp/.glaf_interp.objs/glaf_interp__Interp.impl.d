@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Atomic Domain Farray Float Format Glaf_fortran Glaf_runtime Hashtbl Intrinsics List Omp Option Printf String Value

@@ -1,0 +1,1 @@
+lib/ir/expr.pp.ml: List Ppx_deriving_runtime Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/func.pp.ml: Grid List Ppx_deriving_runtime Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/grid.pp.ml: List Ppx_deriving_runtime String Types

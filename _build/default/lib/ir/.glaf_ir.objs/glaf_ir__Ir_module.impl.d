@@ -1,0 +1,1 @@
+lib/ir/ir_module.pp.ml: Func Grid List Ppx_deriving_runtime String

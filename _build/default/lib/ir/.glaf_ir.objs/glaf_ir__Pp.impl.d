@@ -1,0 +1,1 @@
+lib/ir/pp.pp.ml: Expr Format Func Grid Ir_module List Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/stmt.pp.ml: Expr List Ppx_deriving_runtime String

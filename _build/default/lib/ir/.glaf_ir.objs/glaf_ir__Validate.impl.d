@@ -1,0 +1,1 @@
+lib/ir/validate.pp.ml: Expr Format Func Grid Hashtbl Ir_module List Stmt String

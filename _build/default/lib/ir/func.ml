@@ -1,0 +1,85 @@
+(** GLAF functions.
+
+    A function is composed of {e steps} (the GPI's unit of editing);
+    each step has a label and a statement list.  A function with
+    [return = None] is generated as a Fortran [SUBROUTINE] (§3.4),
+    otherwise as a [FUNCTION] returning the given element type. *)
+
+type step = {
+  label : string;
+  body : Stmt.t list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  name : string;
+  return : Types.elem_type option;  (** [None] = void = SUBROUTINE *)
+  params : string list;  (** names of [Arg]-storage grids, in order *)
+  grids : Grid.t list;  (** every grid visible in this function *)
+  steps : step list;
+}
+[@@deriving show { with_path = false }, eq]
+
+let make ?return ?(params = []) ?(grids = []) ?(steps = []) name =
+  { name; return; params; grids; steps }
+
+let step label body = { label; body }
+
+let body f = List.concat_map (fun s -> s.body) f.steps
+
+let is_subroutine f = f.return = None
+
+let find_grid f name =
+  List.find_opt (fun (g : Grid.t) -> String.equal g.Grid.name name) f.grids
+
+(** Grids declared locally in the subprogram body: everything that is
+    neither an argument nor declared elsewhere ([USE]d modules, TYPE
+    elements, the enclosing generated module for [Module_scope]).
+    COMMON members {e are} declared locally (then grouped into the
+    COMMON statement), per §3.2. *)
+let local_grids f =
+  List.filter
+    (fun (g : Grid.t) ->
+      (not (Grid.is_argument g))
+      && (not (Grid.externally_declared g))
+      && g.Grid.storage <> Grid.Module_scope)
+    f.grids
+
+let arg_grids f =
+  List.filter_map (fun p -> find_grid f p) f.params
+
+(** Legacy modules this function needs to [USE] (§3.1, §3.5). *)
+let used_modules f =
+  List.filter_map
+    (fun (g : Grid.t) ->
+      match g.Grid.storage with
+      | Grid.External_module m | Grid.Type_element (m, _) -> Some m
+      | _ -> None)
+    f.grids
+  |> List.sort_uniq String.compare
+
+(** COMMON blocks referenced by this function, with their members in
+    declaration order (§3.2). *)
+let common_blocks f =
+  let blocks =
+    List.filter_map
+      (fun (g : Grid.t) ->
+        match g.Grid.storage with
+        | Grid.Common b -> Some b
+        | _ -> None)
+      f.grids
+    |> List.sort_uniq String.compare
+  in
+  List.map
+    (fun b ->
+      ( b,
+        List.filter
+          (fun (g : Grid.t) -> g.Grid.storage = Grid.Common b)
+          f.grids ))
+    blocks
+
+(** All statements of the function, across steps. *)
+let all_stmts f = body f
+
+(** Subroutines/functions called by this function. *)
+let callees f = Stmt.calls (all_stmts f)

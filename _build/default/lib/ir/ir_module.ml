@@ -1,0 +1,59 @@
+(** GLAF modules and whole programs.
+
+    A GLAF program is a set of modules plus the special {e Global
+    Scope} (grids visible across the whole program, §3.1–§3.3).  Each
+    module contains functions and module-scope grids. *)
+
+type t = {
+  name : string;
+  module_grids : Grid.t list;
+      (** grids with [Module_scope] storage declared by this module *)
+  functions : Func.t list;
+}
+[@@deriving show { with_path = false }, eq]
+
+let make ?(module_grids = []) ?(functions = []) name =
+  { name; module_grids; functions }
+
+let find_function m name =
+  List.find_opt (fun (f : Func.t) -> String.equal f.Func.name name) m.functions
+
+type program = {
+  prog_name : string;
+  globals : Grid.t list;  (** the GPI's Global Scope *)
+  modules : t list;
+  entry : string option;  (** name of the main function, if any *)
+}
+[@@deriving show { with_path = false }, eq]
+
+let program ?(globals = []) ?(modules = []) ?entry prog_name =
+  { prog_name; globals; modules; entry }
+
+let all_functions p = List.concat_map (fun m -> m.functions) p.modules
+
+let find_program_function p name =
+  List.find_opt
+    (fun (f : Func.t) -> String.equal f.Func.name name)
+    (all_functions p)
+
+(** Resolve a grid name as seen from function [f] of program [p]:
+    function scope first, then the enclosing module's grids, then the
+    Global Scope. *)
+let resolve_grid p m f name =
+  match Func.find_grid f name with
+  | Some g -> Some g
+  | None -> (
+    match
+      List.find_opt (fun (g : Grid.t) -> String.equal g.Grid.name name)
+        m.module_grids
+    with
+    | Some g -> Some g
+    | None ->
+      List.find_opt (fun (g : Grid.t) -> String.equal g.Grid.name name)
+        p.globals)
+
+(** Legacy modules used anywhere in the program. *)
+let used_modules p =
+  all_functions p
+  |> List.concat_map Func.used_modules
+  |> List.sort_uniq String.compare

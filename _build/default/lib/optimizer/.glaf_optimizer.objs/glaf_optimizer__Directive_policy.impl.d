@@ -1,0 +1,1 @@
+lib/optimizer/directive_policy.pp.ml: Depend Func Glaf_analysis Glaf_ir Ir_module List Loop_info Ppx_deriving_runtime Stmt

@@ -1,0 +1,1 @@
+lib/optimizer/layout.pp.ml: Expr Func Glaf_ir Grid Ir_module List Stmt String

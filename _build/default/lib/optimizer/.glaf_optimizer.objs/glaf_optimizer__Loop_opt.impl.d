@@ -1,0 +1,1 @@
+lib/optimizer/loop_opt.pp.ml: Depend Expr Glaf_analysis Glaf_ir List Loop_info Option Stmt String

@@ -1,0 +1,1 @@
+lib/optimizer/no_realloc.pp.ml: Func Glaf_ir Grid Ir_module List

@@ -1,0 +1,138 @@
+(** Data-layout transform: array-of-structures → structure-of-arrays.
+
+    One of GLAF's code-optimization options (§2.1).  A record grid
+    [g] with fields [f1..fk] and dims [d] is, in AoS form, generated
+    as a Fortran derived TYPE plus an array of that type; the SoA
+    transform replaces it by [k] dense grids [g_f1 .. g_fk], each with
+    dims [d], and rewrites every reference [g(i)%fj] to [g_fj(i)].
+    SoA is what lets the compiler vectorize field-wise sweeps, which
+    is GLAF's stated motivation for offering the option. *)
+
+open Glaf_ir
+
+let soa_name grid_name field = grid_name ^ "_" ^ field
+
+(* Rewrite refs to converted record grids. *)
+let rewrite_ref converted (r : Expr.gref) : Expr.gref =
+  if List.mem r.Expr.grid converted then
+    match r.Expr.field with
+    | Some f -> { r with Expr.grid = soa_name r.Expr.grid f; field = None }
+    | None -> r (* whole-grid reference: left to the validator to flag *)
+  else r
+
+let rec rewrite_stmts converted stmts =
+  let rewrite_expr e = Expr.map_refs (rewrite_ref converted) e in
+  List.map
+    (fun (s : Stmt.t) ->
+      match s with
+      | Stmt.Assign (r, e) ->
+        Stmt.Assign
+          ( rewrite_ref converted
+              { r with Expr.indices = List.map rewrite_expr r.Expr.indices },
+            rewrite_expr e )
+      | Stmt.Atomic (r, e) ->
+        Stmt.Atomic
+          ( rewrite_ref converted
+              { r with Expr.indices = List.map rewrite_expr r.Expr.indices },
+            rewrite_expr e )
+      | Stmt.If (branches, else_) ->
+        Stmt.If
+          ( List.map
+              (fun (c, b) -> (rewrite_expr c, rewrite_stmts converted b))
+              branches,
+            rewrite_stmts converted else_ )
+      | Stmt.For l ->
+        Stmt.For
+          {
+            l with
+            Stmt.lo = rewrite_expr l.Stmt.lo;
+            hi = rewrite_expr l.Stmt.hi;
+            step = rewrite_expr l.Stmt.step;
+            body = rewrite_stmts converted l.Stmt.body;
+          }
+      | Stmt.While (c, body) ->
+        Stmt.While (rewrite_expr c, rewrite_stmts converted body)
+      | Stmt.Call (f, args) -> Stmt.Call (f, List.map rewrite_expr args)
+      | Stmt.Return (Some e) -> Stmt.Return (Some (rewrite_expr e))
+      | Stmt.Return None | Stmt.Exit_loop | Stmt.Cycle_loop | Stmt.Comment _ ->
+        s
+      | Stmt.Critical body -> Stmt.Critical (rewrite_stmts converted body))
+    stmts
+
+let split_grid (g : Grid.t) : Grid.t list =
+  match g.Grid.kind with
+  | Grid.Dense _ -> [ g ]
+  | Grid.Record fields ->
+    List.map
+      (fun (fname, ftype) ->
+        {
+          g with
+          Grid.name = soa_name g.Grid.name fname;
+          kind = Grid.Dense ftype;
+          caption = g.Grid.caption ^ "%" ^ fname;
+        })
+      fields
+
+(* Record grids eligible for conversion: only grids GLAF itself
+   declares; grids living in legacy modules keep their layout. *)
+let convertible (g : Grid.t) =
+  match (g.Grid.kind, g.Grid.storage) with
+  | Grid.Record _, (Grid.Local | Grid.Arg _ | Grid.Module_scope) -> true
+  | _ -> false
+
+let apply_function converted (f : Func.t) =
+  let local_converted =
+    List.filter_map
+      (fun (g : Grid.t) ->
+        if convertible g then Some g.Grid.name else None)
+      f.Func.grids
+  in
+  let converted = List.sort_uniq String.compare (local_converted @ converted) in
+  let grids = List.concat_map split_grid f.Func.grids in
+  let steps =
+    List.map
+      (fun (st : Func.step) ->
+        { st with Func.body = rewrite_stmts converted st.Func.body })
+      f.Func.steps
+  in
+  (* parameters that were record grids fan out into one per field *)
+  let params =
+    List.concat_map
+      (fun pname ->
+        match Func.find_grid f pname with
+        | Some g when convertible g -> (
+          match g.Grid.kind with
+          | Grid.Record fields -> List.map (fun (fn, _) -> soa_name pname fn) fields
+          | Grid.Dense _ -> [ pname ])
+        | _ -> [ pname ])
+      f.Func.params
+  in
+  { f with Func.grids; steps; params }
+
+(** Convert every GLAF-declared record grid of the program to SoA. *)
+let to_soa (p : Ir_module.program) : Ir_module.program =
+  let converted_globals =
+    List.filter_map
+      (fun (g : Grid.t) -> if convertible g then Some g.Grid.name else None)
+      p.Ir_module.globals
+  in
+  let globals = List.concat_map split_grid p.Ir_module.globals in
+  let modules =
+    List.map
+      (fun (m : Ir_module.t) ->
+        let converted_mod =
+          converted_globals
+          @ List.filter_map
+              (fun (g : Grid.t) -> if convertible g then Some g.Grid.name else None)
+              m.Ir_module.module_grids
+        in
+        {
+          m with
+          Ir_module.module_grids =
+            List.concat_map split_grid m.Ir_module.module_grids;
+          functions =
+            List.map (apply_function converted_mod) m.Ir_module.functions;
+        })
+      p.Ir_module.modules
+  in
+  { p with Ir_module.globals; modules }

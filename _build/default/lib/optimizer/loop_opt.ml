@@ -1,0 +1,74 @@
+(** Loop restructuring options of the code-optimization back-end:
+    interchange and manual collapsing (§2.1). *)
+
+open Glaf_ir
+open Glaf_analysis
+
+(** [interchange env loop] swaps a perfect double nest when legal.
+    Legality here is conservative: the nest must be fully parallel
+    (then any iteration order is valid) and the inner bounds must not
+    depend on the outer index. *)
+let interchange env (loop : Stmt.loop) : Stmt.loop option =
+  match loop.Stmt.body with
+  | [ Stmt.For inner ] ->
+    let info = Depend.analyze env loop in
+    let bounds_invariant =
+      (not (Expr.mentions loop.Stmt.index inner.Stmt.lo))
+      && (not (Expr.mentions loop.Stmt.index inner.Stmt.hi))
+      && (not (Expr.mentions inner.Stmt.index loop.Stmt.lo))
+      && not (Expr.mentions inner.Stmt.index loop.Stmt.hi)
+    in
+    if info.Loop_info.parallel && bounds_invariant then
+      Some
+        {
+          inner with
+          Stmt.body = [ Stmt.For { loop with Stmt.body = inner.Stmt.body } ];
+          directive = loop.Stmt.directive;
+        }
+    else None
+  | _ -> None
+
+(** [collapse loop] rewrites a perfect double nest with unit steps and
+    constant-or-symbolic bounds into a single loop over the fused
+    space, recovering the two indices by division/modulo.  Used when
+    the target language has no COLLAPSE clause (e.g. plain C without
+    OpenMP, or OpenCL NDRange flattening). *)
+let collapse ~fresh_index (loop : Stmt.loop) : Stmt.loop option =
+  match loop.Stmt.body with
+  | [ Stmt.For inner ]
+    when loop.Stmt.step = Expr.Int_lit 1 && inner.Stmt.step = Expr.Int_lit 1
+         && (not (Expr.mentions loop.Stmt.index inner.Stmt.lo))
+         && not (Expr.mentions loop.Stmt.index inner.Stmt.hi) ->
+    let open Expr in
+    let isize = inner.Stmt.hi - inner.Stmt.lo + int 1 in
+    let osize = loop.Stmt.hi - loop.Stmt.lo + int 1 in
+    let k = var fresh_index in
+    let set_outer =
+      Stmt.assign_var loop.Stmt.index
+        (loop.Stmt.lo + ((k - int 1) / isize))
+    in
+    let set_inner =
+      Stmt.assign_var inner.Stmt.index
+        (inner.Stmt.lo + ((k - int 1) % isize))
+    in
+    Some
+      {
+        Stmt.index = fresh_index;
+        lo = int 1;
+        hi = osize * isize;
+        step = int 1;
+        body = set_outer :: set_inner :: inner.Stmt.body;
+        directive =
+          Option.map
+            (fun d ->
+              {
+                d with
+                Stmt.collapse = 1;
+                private_vars =
+                  List.sort_uniq String.compare
+                    (loop.Stmt.index :: inner.Stmt.index
+                     :: d.Stmt.private_vars);
+              })
+            loop.Stmt.directive;
+      }
+  | _ -> None

@@ -1,0 +1,55 @@
+(** The no-reallocation transform (paper §4.2.1).
+
+    FUN3D's interior loops allocate ~50 temporary arrays per call;
+    inside a parallel region this dynamic reallocation dominates.  The
+    paper's fix gives those arrays the Fortran [SAVE] attribute so the
+    allocation from the first call is reused.  At the IR level that is
+    a [save] flag on every function-local array grid with symbolic
+    extents (the ones the code generator allocates dynamically);
+    {!Glaf_codegen} then emits
+    [if (.not. allocated(tmp)) allocate(tmp(...))] instead of an
+    unconditional allocate/deallocate pair. *)
+
+open Glaf_ir
+
+let grid_is_dynamic (g : Grid.t) =
+  g.Grid.storage = Grid.Local
+  && (not (Grid.is_scalar g))
+  && (g.Grid.allocatable || Grid.extent_deps g <> [])
+
+let apply_function (f : Func.t) =
+  {
+    f with
+    Func.grids =
+      List.map
+        (fun g -> if grid_is_dynamic g then { g with Grid.save = true } else g)
+        f.Func.grids;
+  }
+
+(** Mark dynamic temporaries SAVE in the named functions (or in every
+    function when [only] is omitted). *)
+let apply ?only (p : Ir_module.program) : Ir_module.program =
+  let selected (f : Func.t) =
+    match only with
+    | None -> true
+    | Some names -> List.mem f.Func.name names
+  in
+  {
+    p with
+    Ir_module.modules =
+      List.map
+        (fun (m : Ir_module.t) ->
+          {
+            m with
+            Ir_module.functions =
+              List.map
+                (fun f -> if selected f then apply_function f else f)
+                m.Ir_module.functions;
+          })
+        p.Ir_module.modules;
+  }
+
+(** Number of dynamic temporary arrays in a function — the "50
+    dynamically allocated temporary arrays" count of §4.2.1. *)
+let dynamic_temp_count (f : Func.t) =
+  List.length (List.filter grid_is_dynamic f.Func.grids)

@@ -1,0 +1,1 @@
+lib/perf/compiler_model.ml: Ast Float Glaf_fortran List Machine Option

@@ -1,0 +1,1 @@
+lib/perf/cost.ml: Ast Compiler_model Float Fun Glaf_fortran Hashtbl List Machine Option

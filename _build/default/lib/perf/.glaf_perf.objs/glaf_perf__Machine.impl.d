@@ -1,0 +1,1 @@
+lib/perf/machine.ml: Float

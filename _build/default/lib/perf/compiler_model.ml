@@ -1,0 +1,98 @@
+(** Model of what an optimizing Fortran compiler (gfortran/ifort -O3)
+    does to each loop, inferred from the AST — the effects the paper
+    reads out of optimization reports in §4.1.2:
+
+    - zero-initialization loops become [memset];
+    - straight-line single loops (incl. simple reductions and
+      single-value loads) vectorize;
+    - very short loops unroll;
+    - loops containing control flow or calls stay scalar ("the
+      compiler fails to identify these loops as parallel").
+
+    A loop that carries an OpenMP directive is {e outlined} and gets
+    none of these optimizations — which is precisely why GLAF-parallel
+    v0 loses to the original serial code on small loops. *)
+
+open Glaf_fortran
+
+type loop_opt =
+  | Memset
+  | Vectorized
+  | Unrolled
+  | Scalar
+
+let show = function
+  | Memset -> "memset"
+  | Vectorized -> "SIMD"
+  | Unrolled -> "unrolled"
+  | Scalar -> "scalar"
+
+let is_zero_lit = function
+  | Ast.Int_lit 0 -> true
+  | Ast.Real_lit (0.0, _) -> true
+  | _ -> false
+
+(* A designator-with-args is either an array reference or an elemental
+   intrinsic (both vectorize) or a user function (which does not).
+   User {e subroutine} calls appear as [Ast.Call] statements and are
+   rejected by [straight_line] directly; user functions in expressions
+   are flagged by the [is_user_fn] predicate when the caller can
+   supply one. *)
+let rec no_user_calls ~is_user_fn e =
+  let ok = ref true in
+  let rec go (e : Ast.expr) =
+    match e with
+    | Ast.Desig parts ->
+      List.iter
+        (fun (name, args) ->
+          if args <> [] && is_user_fn name then ok := false;
+          List.iter go args)
+        parts
+    | Ast.Unop (_, a) -> go a
+    | Ast.Binop (_, a, b) ->
+      go a;
+      go b
+    | Ast.Implied_do (a, _, lo, hi) ->
+      go a;
+      go lo;
+      go hi
+    | Ast.Section (lo, hi) ->
+      Option.iter go lo;
+      Option.iter go hi
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ -> ()
+  in
+  go e;
+  !ok
+
+and straight_line ~is_user_fn stmts =
+  List.for_all
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Assign (d, e) ->
+        no_user_calls ~is_user_fn (Ast.Desig d)
+        && no_user_calls ~is_user_fn e
+      | Ast.Comment _ | Ast.Continue -> true
+      | Ast.Do _ | Ast.If_block _ | Ast.If_arith _ | Ast.Do_while _
+      | Ast.Call _ | Ast.Return | Ast.Exit | Ast.Cycle | Ast.Stop _
+      | Ast.Allocate _ | Ast.Deallocate _ | Ast.Print _ | Ast.Omp_atomic _
+      | Ast.Omp_critical _ | Ast.Omp_barrier ->
+        false)
+    stmts
+
+(** Classify what the compiler does to a {e serial} loop. *)
+let classify ?(trip = None) ?(is_user_fn = fun _ -> false) (l : Ast.do_loop) :
+    loop_opt =
+  match l.Ast.do_body with
+  | [ Ast.Assign (_, rhs) ] when is_zero_lit rhs -> Memset
+  | body when straight_line ~is_user_fn body -> (
+    match trip with
+    | Some t when t <= 8 -> Unrolled
+    | _ -> Vectorized)
+  | _ -> Scalar
+
+(** Speedup factor of the classification on machine [m]. *)
+let speedup (m : Machine.t) = function
+  | Memset -> m.Machine.memset_speedup
+  | Vectorized -> Float.max 1.0 (float_of_int m.Machine.simd_width *. m.Machine.simd_efficiency)
+  | Unrolled -> m.Machine.unroll_speedup
+  | Scalar -> 1.0

@@ -1,0 +1,319 @@
+(** Analytic cost evaluator over the Fortran AST.
+
+    Walks a subprogram with a machine model ({!Machine}), a compiler
+    model ({!Compiler_model}) and a workload binding (values for the
+    symbolic loop bounds) and returns a deterministic time estimate.
+    Serial loops receive the compiler's memset/SIMD/unroll speedups;
+    OpenMP loops instead pay fork-join and per-thread overheads and
+    divide their (scalar) body cost by the machine's thread speedup.
+    Nested parallel regions pay their overhead but gain nothing —
+    the cores are already busy — which is what buries FUN3D's
+    fine-grained options in Fig. 7. *)
+
+open Glaf_fortran
+
+type config = {
+  machine : Machine.t;
+  threads : int;  (** default OMP thread count *)
+  bindings : (string * int) list;  (** workload sizes for symbolic bounds *)
+  while_trip : int;  (** assumed iterations of DO WHILE loops *)
+  unknown_trip : int;  (** trip count when a bound cannot be evaluated *)
+}
+
+let default_config machine =
+  {
+    machine;
+    threads = machine.Machine.cores;
+    bindings = [];
+    while_trip = 4;
+    unknown_trip = 16;
+  }
+
+type env = {
+  cfg : config;
+  cu : Ast.compilation_unit;
+  ints : (string, int) Hashtbl.t;  (** integer-valued scalars in scope *)
+  par_depth : int;  (** nesting depth of enclosing parallel regions *)
+  depth_guard : int;  (** recursion limiter for call chains *)
+}
+
+(** {1 Integer evaluation of bound expressions} *)
+
+let rec eval_int env (e : Ast.expr) : int option =
+  match e with
+  | Ast.Int_lit n -> Some n
+  | Ast.Real_lit (x, _) -> Some (int_of_float x)
+  | Ast.Desig [ (name, []) ] -> Hashtbl.find_opt env.ints name
+  | Ast.Unop (Ast.Neg, a) -> Option.map (fun n -> -n) (eval_int env a)
+  | Ast.Unop (Ast.Pos, a) -> eval_int env a
+  | Ast.Binop (op, a, b) -> (
+    match (eval_int env a, eval_int env b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div -> if y = 0 then None else Some (x / y)
+      | _ -> None)
+    | _ -> None)
+  | Ast.Desig [ ("max", [ a; b ]) ] -> (
+    match (eval_int env a, eval_int env b) with
+    | Some x, Some y -> Some (max x y)
+    | _ -> None)
+  | Ast.Desig [ ("min", [ a; b ]) ] -> (
+    match (eval_int env a, eval_int env b) with
+    | Some x, Some y -> Some (min x y)
+    | _ -> None)
+  | _ -> None
+
+let trip_count env (l : Ast.do_loop) : int =
+  match (eval_int env l.Ast.do_lo, eval_int env l.Ast.do_hi) with
+  | Some lo, Some hi ->
+    let step =
+      match l.Ast.do_step with
+      | None -> 1
+      | Some s -> Option.value (eval_int env s) ~default:1
+    in
+    if step = 0 then env.cfg.unknown_trip
+    else max 0 (((hi - lo) / step) + 1)
+  | _ -> env.cfg.unknown_trip
+
+(** {1 Expression cost} *)
+
+let rec expr_cost env (e : Ast.expr) : float =
+  let m = env.cfg.machine in
+  match e with
+  | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ -> 0.0
+  | Ast.Desig parts ->
+    List.fold_left
+      (fun acc (name, args) ->
+        let arg_cost =
+          List.fold_left (fun a x -> a +. expr_cost env x) 0.0 args
+        in
+        if args = [] then acc +. m.Machine.mem_ns
+        else
+          match Ast.find_subprogram env.cu name with
+          | Some sp when env.depth_guard > 0 ->
+            acc +. arg_cost +. m.Machine.call_ns
+            +. subprogram_cost
+                 { env with depth_guard = env.depth_guard - 1 }
+                 sp args
+          | _ ->
+            (* array element access or intrinsic *)
+            acc +. arg_cost
+            +. (m.Machine.mem_ns *. 1.0)
+            +. (m.Machine.op_ns *. 2.0))
+      0.0 parts
+  | Ast.Unop (_, a) -> env.cfg.machine.Machine.op_ns +. expr_cost env a
+  | Ast.Binop (Ast.Pow, a, b) ->
+    (8.0 *. m.Machine.op_ns) +. expr_cost env a +. expr_cost env b
+  | Ast.Binop (_, a, b) ->
+    m.Machine.op_ns +. expr_cost env a +. expr_cost env b
+  | Ast.Implied_do (a, _, lo, hi) ->
+    let n =
+      match (eval_int env lo, eval_int env hi) with
+      | Some l, Some h -> max 0 (h - l + 1)
+      | _ -> env.cfg.unknown_trip
+    in
+    float_of_int n *. expr_cost env a
+  | Ast.Section (lo, hi) ->
+    Option.fold ~none:0.0 ~some:(expr_cost env) lo
+    +. Option.fold ~none:0.0 ~some:(expr_cost env) hi
+
+(** {1 Statement cost} *)
+
+and stmts_cost env stmts =
+  List.fold_left (fun acc s -> acc +. stmt_cost env s) 0.0 stmts
+
+and stmt_cost env (s : Ast.stmt) : float =
+  let m = env.cfg.machine in
+  match s with
+  | Ast.Assign (d, e) ->
+    expr_cost env (Ast.Desig d) +. expr_cost env e +. m.Machine.op_ns
+  | Ast.If_arith (c, s) -> expr_cost env c +. (0.5 *. stmt_cost env s)
+  | Ast.If_block (branches, else_) ->
+    (* the no-reallocation guard `if (.not. allocated(x)) allocate(..)`
+       is true once and false on every later call: amortize its body *)
+    let is_alloc_guard c =
+      match c with
+      | Ast.Unop (Ast.Not, Ast.Desig [ ("allocated", _) ]) -> true
+      | _ -> false
+    in
+    let nb = List.length branches + if else_ = [] then 0 else 1 in
+    let w = 1.0 /. float_of_int (max 1 nb) in
+    List.fold_left
+      (fun acc (c, body) ->
+        let w = if is_alloc_guard c then 0.02 else w in
+        acc +. expr_cost env c +. (w *. stmts_cost env body))
+      (w *. stmts_cost env else_)
+      branches
+  | Ast.Do l -> loop_cost env l
+  | Ast.Do_while (c, body) ->
+    float_of_int env.cfg.while_trip
+    *. (expr_cost env c +. stmts_cost env body)
+  | Ast.Call (name, args) -> (
+    let arg_cost = List.fold_left (fun a x -> a +. expr_cost env x) 0.0 args in
+    match Ast.find_subprogram env.cu name with
+    | Some sp when env.depth_guard > 0 ->
+      arg_cost +. m.Machine.call_ns
+      +. subprogram_cost { env with depth_guard = env.depth_guard - 1 } sp args
+    | _ -> arg_cost +. m.Machine.call_ns)
+  | Ast.Return | Ast.Exit | Ast.Cycle | Ast.Continue | Ast.Stop _ ->
+    m.Machine.op_ns
+  | Ast.Allocate allocs ->
+    List.fold_left
+      (fun acc (_, dims) ->
+        let n =
+          List.fold_left
+            (fun acc d ->
+              match d with
+              | Ast.Section (_, Some hi) | (_ as hi) when true -> (
+                match eval_int env hi with
+                | Some k -> acc * max 1 k
+                | None -> acc * env.cfg.unknown_trip)
+              | _ -> acc)
+            1 dims
+        in
+        (* heap allocation inside a parallel region contends on the
+           allocator lock — the effect that buries FUN3D's
+           fine-grained options before the SAVE fix *)
+        let contention =
+          if env.par_depth > 0 then
+            1.0 +. (0.5 *. float_of_int env.cfg.threads)
+          else 1.0
+        in
+        acc
+        +. (m.Machine.alloc_ns *. contention)
+        +. (0.05 *. float_of_int n))
+      0.0 allocs
+  | Ast.Deallocate ds -> float_of_int (List.length ds) *. (m.Machine.alloc_ns /. 3.0)
+  | Ast.Print _ -> 200.0
+  | Ast.Omp_atomic s -> (40.0 *. m.Machine.op_ns) +. stmt_cost env s
+  | Ast.Omp_critical body -> (60.0 *. m.Machine.op_ns) +. stmts_cost env body
+  | Ast.Omp_barrier -> m.Machine.per_thread_ns
+  | Ast.Comment _ -> 0.0
+
+(* Bind the loop variable to the midpoint of its range so that
+   bounds depending on it (windowed inner loops like
+   [do j = k, min(k+19, nv)]) cost representatively. *)
+and env_with_midpoint env (l : Ast.do_loop) =
+  match (eval_int env l.Ast.do_lo, eval_int env l.Ast.do_hi) with
+  | Some lo, Some hi when hi >= lo ->
+    let ints = Hashtbl.copy env.ints in
+    Hashtbl.replace ints l.Ast.do_var ((lo + hi) / 2);
+    { env with ints }
+  | _ -> env
+
+and loop_cost env (l : Ast.do_loop) : float =
+  let m = env.cfg.machine in
+  let trip = trip_count env l in
+  match l.Ast.do_omp with
+  | None ->
+    (* serial: compiler optimizations apply *)
+    let is_user_fn name = Ast.find_subprogram env.cu name <> None in
+    let opt = Compiler_model.classify ~trip:(Some trip) ~is_user_fn l in
+    let body = stmts_cost (env_with_midpoint env l) l.Ast.do_body in
+    let factor = Compiler_model.speedup m opt in
+    float_of_int trip *. ((body /. factor) +. m.Machine.op_ns)
+  | Some d ->
+    (* OpenMP: outlined body runs scalar; fork-join + per-thread costs.
+       A nested region (par_depth > 0) behaves like OMP_NESTED=false:
+       a cheap runtime check, serial execution, no gain. *)
+    let threads =
+      match d.Ast.omp_num_threads with
+      | Some e -> Option.value (eval_int env e) ~default:env.cfg.threads
+      | None -> env.cfg.threads
+    in
+    let total_trip, body_stmts, bind_inner =
+      if d.Ast.omp_collapse >= 2 then
+        match l.Ast.do_body with
+        | [ Ast.Do inner ] ->
+          ( trip * trip_count env inner,
+            inner.Ast.do_body,
+            fun env -> env_with_midpoint env inner )
+        | body -> (trip, body, Fun.id)
+      else (trip, l.Ast.do_body, Fun.id)
+    in
+    let inner_env =
+      { (bind_inner (env_with_midpoint env l)) with
+        par_depth = env.par_depth + 1 }
+    in
+    let body = stmts_cost inner_env body_stmts in
+    if env.par_depth > 0 then
+      (0.5 *. m.Machine.per_thread_ns)
+      +. (float_of_int total_trip *. (body +. m.Machine.op_ns))
+    else begin
+      (* parallelism cannot exceed the iteration count (the 2-iteration
+         outer loop of a non-collapsed nest starves the team) *)
+      let speedup =
+        Float.min
+          (Machine.thread_speedup m threads)
+          (float_of_int (max 1 total_trip))
+      in
+      let work =
+        float_of_int total_trip *. (body +. m.Machine.op_ns) /. speedup
+      in
+      let sched = 0.3 *. m.Machine.per_thread_ns *. float_of_int threads in
+      Machine.region_overhead m threads +. sched +. work
+    end
+
+(** {1 Subprograms} *)
+
+and subprogram_cost env (sp : Ast.subprogram) (actuals : Ast.expr list) :
+    float =
+  (* bind integer-valued actuals to dummy names, plus PARAMETER decls *)
+  let ints = Hashtbl.copy env.ints in
+  List.iteri
+    (fun i dummy ->
+      match List.nth_opt actuals i with
+      | Some a -> (
+        match eval_int env a with
+        | Some v -> Hashtbl.replace ints dummy v
+        | None -> ())
+      | None -> ())
+    sp.Ast.sub_args;
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Var_decl { entities; _ } ->
+        List.iter
+          (fun (e : Ast.entity) ->
+            match e.Ast.ent_init with
+            | Some ie -> (
+              match eval_int { env with ints } ie with
+              | Some v -> Hashtbl.replace ints e.Ast.ent_name v
+              | None -> ())
+            | None -> ())
+          entities
+      | _ -> ())
+    sp.Ast.sub_decls;
+  stmts_cost { env with ints } sp.Ast.sub_body
+
+(** Estimated time (ns) of calling [name] with integer bindings from
+    the config plus [args]. *)
+let time ?(args = []) (cfg : config) (cu : Ast.compilation_unit) name : float =
+  let ints = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace ints k v) cfg.bindings;
+  (* module-level PARAMETER constants *)
+  List.iter
+    (fun u ->
+      match u with
+      | Ast.Module m ->
+        List.iter
+          (fun d ->
+            match d with
+            | Ast.Var_decl { entities; _ } ->
+              List.iter
+                (fun (e : Ast.entity) ->
+                  match e.Ast.ent_init with
+                  | Some (Ast.Int_lit v) -> Hashtbl.replace ints e.Ast.ent_name v
+                  | _ -> ())
+                entities
+            | _ -> ())
+          m.Ast.mod_decls
+      | _ -> ())
+    cu;
+  let env = { cfg; cu; ints; par_depth = 0; depth_guard = 24 } in
+  match Ast.find_subprogram cu name with
+  | None -> invalid_arg ("Cost.time: no subprogram " ^ name)
+  | Some sp -> subprogram_cost env sp args

@@ -1,0 +1,94 @@
+(** Machine model for the analytic performance evaluation.
+
+    Stands in for the paper's test systems.  Constants are calibrated
+    so the {e shape} of the paper's figures reproduces (who wins, by
+    roughly what factor, where the crossovers are); absolute times are
+    not meaningful.  All times are in nanoseconds. *)
+
+type t = {
+  name : string;
+  cores : int;  (** physical cores *)
+  smt_threads : int;  (** hardware threads (logical CPUs) *)
+  smt_gain : float;
+      (** extra throughput from running 2 threads on one core (e.g.
+          0.25 = 25% more than one thread) *)
+  oversub_penalty : float;
+      (** slowdown factor per software thread beyond [smt_threads]
+          (scheduling, cache thrash) *)
+  op_ns : float;  (** scalar floating-point / integer op *)
+  mem_ns : float;  (** array element access *)
+  call_ns : float;  (** subprogram call overhead (GLAF serial tax, §4.1.2) *)
+  alloc_ns : float;  (** heap allocation (the FUN3D reallocation tax) *)
+  fork_join_ns : float;  (** OpenMP parallel-region entry/exit *)
+  per_thread_ns : float;  (** per-thread start/synchronize cost *)
+  simd_width : int;  (** double-precision lanes *)
+  simd_efficiency : float;  (** achieved fraction of the ideal lane speedup *)
+  memset_speedup : float;  (** speedup of a compiler-emitted memset over the scalar loop *)
+  unroll_speedup : float;  (** speedup from unrolling very short loops *)
+}
+
+(** 4-core desktop in the SARB evaluation (§4.1.2): Intel Core
+    i5-2400-class, 3.1 GHz, gfortran -O3.  The paper reports up to 8
+    logical threads on this machine; oversubscription beyond 4 physical
+    cores collapses performance (their Fig. 6: 0.70x at 8T). *)
+let i5_2400 =
+  {
+    name = "Core i5-2400 (4C, gfortran -O3)";
+    cores = 4;
+    smt_threads = 4;
+    smt_gain = 0.0;
+    oversub_penalty = 1.15;
+    op_ns = 0.65;
+    mem_ns = 0.9;
+    call_ns = 38.0;
+    alloc_ns = 120.0;
+    fork_join_ns = 8000.0;
+    per_thread_ns = 900.0;
+    simd_width = 4;
+    simd_efficiency = 0.55;
+    memset_speedup = 7.0;
+    unroll_speedup = 1.4;
+  }
+
+(** Dual-socket Xeon E5-2637 v4 node in the FUN3D evaluation (§4.2.2):
+    2 x 4 cores / 8 threads, 3.5 GHz, ifort -O3 -axCORE-AVX2. *)
+let xeon_e5_2637v4 =
+  {
+    name = "2x Xeon E5-2637 v4 (8C/16T, ifort -O3 AVX2)";
+    cores = 8;
+    smt_threads = 16;
+    smt_gain = 0.08;
+    oversub_penalty = 0.45;
+    op_ns = 0.5;
+    mem_ns = 0.8;
+    call_ns = 25.0;
+    alloc_ns = 420.0;
+    fork_join_ns = 2200.0;
+    per_thread_ns = 420.0;
+    simd_width = 4;
+    simd_efficiency = 0.6;
+    memset_speedup = 8.0;
+    unroll_speedup = 1.5;
+  }
+
+(** Parallel speedup available from [t] software threads: linear to
+    the core count, SMT gain up to the hardware thread count, then a
+    penalty for oversubscription.  Never below 0.1. *)
+let thread_speedup m t =
+  let t = max 1 t in
+  (* real OpenMP loops never scale perfectly: ~85% incremental
+     efficiency per added core *)
+  let eff n = 1.0 +. (0.85 *. float_of_int (n - 1)) in
+  let base =
+    if t <= m.cores then eff t
+    else if t <= m.smt_threads then
+      eff m.cores +. (m.smt_gain *. float_of_int (t - m.cores))
+    else
+      let hw = eff m.cores +. (m.smt_gain *. float_of_int (m.smt_threads - m.cores)) in
+      hw /. (1.0 +. (m.oversub_penalty *. float_of_int (t - m.smt_threads)))
+  in
+  Float.max 0.1 base
+
+(** Cost of entering+leaving a parallel region with [t] threads. *)
+let region_overhead m t =
+  m.fork_join_ns +. (m.per_thread_ns *. float_of_int (max 1 t))

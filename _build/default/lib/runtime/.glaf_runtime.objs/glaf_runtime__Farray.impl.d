@@ -1,0 +1,1 @@
+lib/runtime/farray.ml: Array Float Glaf_fortran Printf

@@ -1,0 +1,1 @@
+lib/runtime/intrinsics.ml: Farray Float Hashtbl List String Value

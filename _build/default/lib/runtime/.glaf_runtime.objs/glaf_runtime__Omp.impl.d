@@ -1,0 +1,1 @@
+lib/runtime/omp.ml: Array Domain Fun List Mutex

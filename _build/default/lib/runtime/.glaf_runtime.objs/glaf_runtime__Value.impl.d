@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Farray Float Format Glaf_fortran List

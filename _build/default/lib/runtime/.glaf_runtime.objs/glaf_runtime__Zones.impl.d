@@ -1,0 +1,1 @@
+lib/runtime/zones.ml: Array Domain Float List

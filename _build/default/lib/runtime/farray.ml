@@ -1,0 +1,179 @@
+(** Fortran array storage: typed, column-major, arbitrary lower bounds.
+
+    Data lives in flat OCaml arrays, so concurrent writes to distinct
+    elements from different domains are safe (word-sized cells, no
+    tearing), which is what the OpenMP-style parallel loops of the
+    interpreter rely on. *)
+
+exception Bounds_error of string
+
+type elem =
+  | Efloat
+  | Eint
+  | Ebool
+  | Estr
+
+type data =
+  | F of float array
+  | I of int array
+  | B of bool array
+  | S of string array
+
+type t = {
+  elem : elem;
+  bounds : (int * int) array;  (** (lower, upper) per dimension *)
+  data : data;
+}
+
+(** One cell, as a raw OCaml value. *)
+type cell =
+  | Cf of float
+  | Ci of int
+  | Cb of bool
+  | Cs of string
+
+let dim_size (lo, hi) = max 0 (hi - lo + 1)
+
+let size a = Array.fold_left (fun n b -> n * dim_size b) 1 a.bounds
+
+let rank a = Array.length a.bounds
+
+let elem_of_base (bt : Glaf_fortran.Ast.base_type) =
+  match bt with
+  | Glaf_fortran.Ast.Integer -> Eint
+  | Glaf_fortran.Ast.Real | Glaf_fortran.Ast.Real8 -> Efloat
+  | Glaf_fortran.Ast.Logical -> Ebool
+  | Glaf_fortran.Ast.Character _ -> Estr
+  | Glaf_fortran.Ast.Derived name ->
+    invalid_arg ("Farray: derived-type arrays use Struct_array, not " ^ name)
+
+let create elem bounds =
+  let n = Array.fold_left (fun n b -> n * dim_size b) 1 bounds in
+  let data =
+    match elem with
+    | Efloat -> F (Array.make n 0.0)
+    | Eint -> I (Array.make n 0)
+    | Ebool -> B (Array.make n false)
+    | Estr -> S (Array.make n "")
+  in
+  { elem; bounds; data }
+
+(** Column-major linear offset of [indices] (Fortran order: first index
+    varies fastest). *)
+let offset a indices =
+  let n = Array.length a.bounds in
+  if Array.length indices <> n then
+    raise
+      (Bounds_error
+         (Printf.sprintf "rank mismatch: %d subscripts for rank-%d array"
+            (Array.length indices) n));
+  let off = ref 0 in
+  let stride = ref 1 in
+  for d = 0 to n - 1 do
+    let lo, hi = a.bounds.(d) in
+    let i = indices.(d) in
+    if i < lo || i > hi then
+      raise
+        (Bounds_error
+           (Printf.sprintf "subscript %d out of bounds %d:%d in dimension %d"
+              i lo hi (d + 1)));
+    off := !off + ((i - lo) * !stride);
+    stride := !stride * dim_size (lo, hi)
+  done;
+  !off
+
+let get_linear a i =
+  match a.data with
+  | F d -> Cf d.(i)
+  | I d -> Ci d.(i)
+  | B d -> Cb d.(i)
+  | S d -> Cs d.(i)
+
+let set_linear a i c =
+  match (a.data, c) with
+  | F d, Cf x -> d.(i) <- x
+  | F d, Ci x -> d.(i) <- float_of_int x
+  | I d, Ci x -> d.(i) <- x
+  | I d, Cf x -> d.(i) <- int_of_float x
+  | B d, Cb x -> d.(i) <- x
+  | S d, Cs x -> d.(i) <- x
+  | _ -> raise (Bounds_error "element type mismatch in array store")
+
+let get a indices = get_linear a (offset a indices)
+let set a indices c = set_linear a (offset a indices) c
+
+let get_float a indices =
+  match get a indices with
+  | Cf x -> x
+  | Ci x -> float_of_int x
+  | Cb _ | Cs _ -> raise (Bounds_error "expected numeric element")
+
+let set_float a indices x = set a indices (Cf x)
+
+let fill a c =
+  let n = size a in
+  for i = 0 to n - 1 do
+    set_linear a i c
+  done
+
+let copy a =
+  let data =
+    match a.data with
+    | F d -> F (Array.copy d)
+    | I d -> I (Array.copy d)
+    | B d -> B (Array.copy d)
+    | S d -> S (Array.copy d)
+  in
+  { a with data }
+
+(** Fold over cells in linear (column-major) order. *)
+let fold f acc a =
+  let n = size a in
+  let acc = ref acc in
+  for i = 0 to n - 1 do
+    acc := f !acc (get_linear a i)
+  done;
+  !acc
+
+(** 1-D contiguous slice [lo..hi] (inclusive, in index space) of a
+    rank-1 array, sharing no storage. *)
+let slice1 a lo hi =
+  if rank a <> 1 then raise (Bounds_error "slice of non-rank-1 array");
+  let out = create a.elem [| (1, hi - lo + 1) |] in
+  for i = lo to hi do
+    set out [| i - lo + 1 |] (get a [| i |])
+  done;
+  out
+
+let of_float_list xs =
+  let arr = Array.of_list xs in
+  { elem = Efloat; bounds = [| (1, Array.length arr) |]; data = F arr }
+
+let equal_content a b =
+  a.elem = b.elem
+  && a.bounds = b.bounds
+  &&
+  match (a.data, b.data) with
+  | F x, F y -> x = y
+  | I x, I y -> x = y
+  | B x, B y -> x = y
+  | S x, S y -> x = y
+  | _ -> false
+
+(** Max |x - y| over two float arrays of identical shape. *)
+let max_abs_diff a b =
+  match (a.data, b.data) with
+  | F x, F y when Array.length x = Array.length y ->
+    let m = ref 0.0 in
+    Array.iteri (fun i xi -> m := Float.max !m (Float.abs (xi -. y.(i)))) x;
+    !m
+  | _ -> raise (Bounds_error "max_abs_diff: incompatible arrays")
+
+(** Root mean square of a float array — the FUN3D §4.2.1 check. *)
+let rms a =
+  match a.data with
+  | F d ->
+    let n = Array.length d in
+    if n = 0 then 0.0
+    else sqrt (Array.fold_left (fun s x -> s +. (x *. x)) 0.0 d /. float_of_int n)
+  | _ -> raise (Bounds_error "rms of non-real array")

@@ -1,0 +1,82 @@
+(** OpenMP-flavoured parallel runtime on OCaml 5 domains.
+
+    Provides the fork-join [parallel_for] the interpreter uses to
+    execute [!$OMP PARALLEL DO], with static chunking (OpenMP's default
+    schedule), a global lock for CRITICAL sections and an atomic-update
+    helper.  Nested parallel regions simply spawn more domains, which
+    reproduces the oversubscription behaviour the paper observes at 8
+    threads on a 4-core machine. *)
+
+let default_num_threads = ref (max 1 (Domain.recommended_domain_count () - 1))
+
+let set_num_threads n = default_num_threads := max 1 n
+let num_threads () = !default_num_threads
+
+(* One global lock backs both CRITICAL sections and ATOMIC updates;
+   fine for correctness, and its contention is part of what makes
+   fine-grained parallel loops slow — as in the paper. *)
+let critical_mutex = Mutex.create ()
+
+let critical f =
+  Mutex.lock critical_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock critical_mutex) f
+
+let atomic_update = critical
+
+(** Static chunking of the inclusive iteration space [lo..hi] (unit
+    step) into [n] contiguous chunks; returns [(chunk_lo, chunk_hi)]
+    per thread, empty chunks as [(1, 0)]-style inverted ranges. *)
+let static_chunks ~lo ~hi n =
+  let total = hi - lo + 1 in
+  if total <= 0 then Array.make n (lo, lo - 1)
+  else
+    Array.init n (fun t ->
+        let base = total / n and extra = total mod n in
+        let start = lo + (t * base) + min t extra in
+        let len = base + if t < extra then 1 else 0 in
+        (start, start + len - 1))
+
+(** Run [body t chunk_lo chunk_hi] on [threads] domains over [lo..hi].
+    The calling domain acts as thread 0 (like an OpenMP master), the
+    rest are spawned — so a 1-thread parallel loop still pays a small
+    runtime cost but spawns nothing. *)
+let parallel_for ?threads ~lo ~hi body =
+  let n = match threads with Some n -> max 1 n | None -> num_threads () in
+  let chunks = static_chunks ~lo ~hi n in
+  if n = 1 then begin
+    let clo, chi = chunks.(0) in
+    body 0 clo chi
+  end
+  else begin
+    let spawned =
+      Array.init (n - 1) (fun i ->
+          let t = i + 1 in
+          let clo, chi = chunks.(t) in
+          Domain.spawn (fun () -> body t clo chi))
+    in
+    let clo, chi = chunks.(0) in
+    let master_exn =
+      match body 0 clo chi with
+      | () -> None
+      | exception e -> Some e
+    in
+    let worker_exn = ref None in
+    Array.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> if !worker_exn = None then worker_exn := Some e)
+      spawned;
+    match (master_exn, !worker_exn) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+(** Fork-join helper returning per-thread results in thread order
+    (deterministic reduction combining). *)
+let parallel_for_collect ?threads ~lo ~hi body =
+  let n = match threads with Some n -> max 1 n | None -> num_threads () in
+  let results = Array.make n None in
+  parallel_for ~threads:n ~lo ~hi (fun t clo chi ->
+      results.(t) <- Some (body t clo chi));
+  Array.to_list results |> List.filter_map Fun.id

@@ -1,0 +1,138 @@
+(** Runtime values of the Fortran interpreter.
+
+    Scalars carry their Fortran type; whole arrays appear as values
+    only transiently (as intrinsic arguments, e.g. [SUM(a)]). *)
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type t =
+  | Int of int
+  | Real of float  (** both REAL and REAL*8; doubles everywhere *)
+  | Bool of bool
+  | Str of string
+  | Arr of Farray.t  (** whole-array value (intrinsic arguments only) *)
+
+let of_cell = function
+  | Farray.Cf x -> Real x
+  | Farray.Ci n -> Int n
+  | Farray.Cb b -> Bool b
+  | Farray.Cs s -> Str s
+
+let to_cell = function
+  | Int n -> Farray.Ci n
+  | Real x -> Farray.Cf x
+  | Bool b -> Farray.Cb b
+  | Str s -> Farray.Cs s
+  | Arr _ -> error "array value cannot be stored in a cell"
+
+let to_values a =
+  List.init (Farray.size a) (fun i -> of_cell (Farray.get_linear a i))
+
+let rec pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Real x -> Format.fprintf ppf "%.10g" x
+  | Bool b -> Format.fprintf ppf "%s" (if b then "T" else "F")
+  | Str s -> Format.fprintf ppf "%s" s
+  | Arr a ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp)
+      (to_values a)
+
+and to_string v = Format.asprintf "%a" pp v
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Real x -> x
+  | Bool _ -> error "logical value used as number"
+  | Str _ -> error "character value used as number"
+  | Arr _ -> error "array value used as scalar"
+
+let to_int = function
+  | Int n -> n
+  | Real x -> int_of_float x
+  | Bool _ | Str _ | Arr _ -> error "value not convertible to integer"
+
+let to_bool = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Real _ | Str _ | Arr _ -> error "value not convertible to logical"
+
+let is_int = function
+  | Int _ -> true
+  | _ -> false
+
+(** Numeric binary operation following Fortran typing: integer if both
+    integer (with integer division), real otherwise. *)
+let num2 name fint freal a b =
+  match (a, b) with
+  | Int x, Int y -> Int (fint x y)
+  | (Int _ | Real _), (Int _ | Real _) -> Real (freal (to_float a) (to_float b))
+  | _ -> error "non-numeric operands to %s" name
+
+let add a b = num2 "+" ( + ) ( +. ) a b
+let sub a b = num2 "-" ( - ) ( -. ) a b
+let mul a b = num2 "*" ( * ) ( *. ) a b
+
+let div a b =
+  match (a, b) with
+  | Int _, Int 0 -> error "integer division by zero"
+  | Int x, Int y -> Int (x / y)
+  | (Int _ | Real _), (Int _ | Real _) -> Real (to_float a /. to_float b)
+  | _ -> error "non-numeric operands to /"
+
+let pow a b =
+  match (a, b) with
+  | Int x, Int y when y >= 0 ->
+    let rec go acc n = if n = 0 then acc else go (acc * x) (n - 1) in
+    Int (go 1 y)
+  | (Int _ | Real _), (Int _ | Real _) -> Real (to_float a ** to_float b)
+  | _ -> error "non-numeric operands to **"
+
+let neg = function
+  | Int n -> Int (-n)
+  | Real x -> Real (-.x)
+  | Bool _ | Str _ | Arr _ -> error "cannot negate non-numeric value"
+
+let compare_values a b =
+  match (a, b) with
+  | Int x, Int y -> compare x y
+  | (Int _ | Real _), (Int _ | Real _) -> compare (to_float a) (to_float b)
+  | Str x, Str y -> compare x y
+  | Bool x, Bool y -> compare x y
+  | _ -> error "incomparable values"
+
+let eq a b = compare_values a b = 0
+let lt a b = compare_values a b < 0
+let le a b = compare_values a b <= 0
+
+(** Equality up to absolute tolerance (used by verification harness). *)
+let approx_eq ?(tol = 1e-12) a b =
+  match (a, b) with
+  | (Int _ | Real _), (Int _ | Real _) ->
+    Float.abs (to_float a -. to_float b) <= tol
+  | _ -> eq a b
+
+(** Zero value of a Fortran base type. *)
+let zero_of (bt : Glaf_fortran.Ast.base_type) =
+  match bt with
+  | Glaf_fortran.Ast.Integer -> Int 0
+  | Glaf_fortran.Ast.Real | Glaf_fortran.Ast.Real8 -> Real 0.0
+  | Glaf_fortran.Ast.Logical -> Bool false
+  | Glaf_fortran.Ast.Character _ -> Str ""
+  | Glaf_fortran.Ast.Derived name -> error "no zero for derived type %s" name
+
+(** Coerce [v] for storage into a variable of base type [bt]. *)
+let coerce (bt : Glaf_fortran.Ast.base_type) v =
+  match (bt, v) with
+  | Glaf_fortran.Ast.Integer, Real x -> Int (int_of_float x)
+  | Glaf_fortran.Ast.Integer, Int _ -> v
+  | (Glaf_fortran.Ast.Real | Glaf_fortran.Ast.Real8), Int n ->
+    Real (float_of_int n)
+  | (Glaf_fortran.Ast.Real | Glaf_fortran.Ast.Real8), Real _ -> v
+  | Glaf_fortran.Ast.Logical, Bool _ -> v
+  | Glaf_fortran.Ast.Character _, Str _ -> v
+  | _, _ -> error "type mismatch storing %s" (to_string v)

@@ -1,0 +1,1 @@
+lib/workloads/fun3d_glaf.ml: Build Expr Func Glaf_builder Glaf_ir Glaf_optimizer Grid Ir_module List Stmt String Types

@@ -1,0 +1,1 @@
+lib/workloads/fun3d_legacy.ml: Glaf_fortran List String

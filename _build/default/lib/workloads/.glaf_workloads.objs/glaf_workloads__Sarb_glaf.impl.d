@@ -1,0 +1,1 @@
+lib/workloads/sarb_glaf.ml: Build Expr Glaf_builder Glaf_ir Grid Ir_module List Sarb_legacy Stmt Types

@@ -1,0 +1,1 @@
+lib/workloads/sarb_legacy.ml: Glaf_fortran String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Autopar Depend Expr Func Glaf_analysis Glaf_ir Grid Hashtbl Ir_module List Loop_info Stmt Summary

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Glaf_workloads Printf String Sys

@@ -1,0 +1,1 @@
+test/test_fortran_parser.ml: Alcotest Ast Float Fmt Format Glaf_fortran Lexer Line_scanner List Parser Pp_ast QCheck QCheck_alcotest Sloc String

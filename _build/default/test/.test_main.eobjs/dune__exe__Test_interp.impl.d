@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Buffer Farray Float Glaf_fortran Glaf_interp Glaf_runtime Interp Parser QCheck QCheck_alcotest Value

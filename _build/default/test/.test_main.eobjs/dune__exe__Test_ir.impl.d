@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Expr Fmt Func Glaf_ir Grid Ir_module List Pp QCheck QCheck_alcotest Stmt String Types Validate

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Farray Float Fun Glaf_fortran Glaf_runtime Intrinsics List Omp QCheck QCheck_alcotest Value Zones

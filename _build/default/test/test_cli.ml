@@ -1,0 +1,135 @@
+(* End-to-end tests of the oglaf CLI binary against the shipped GPI
+   scripts. *)
+
+let exe = "../bin/oglaf.exe"
+let scripts = "../examples/scripts"
+
+let check_bool = Alcotest.(check bool)
+
+let run_capture cmd =
+  let out = Filename.temp_file "oglaf_cli" ".out" in
+  let rc = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out)) in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  (rc, content)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let available () = Sys.file_exists exe && Sys.file_exists scripts
+
+let test_compile_fortran () =
+  if not (available ()) then ()
+  else begin
+    let rc, out = run_capture (Printf.sprintf "%s compile %s/saxpy.gpi" exe scripts) in
+    check_bool "exit 0" true (rc = 0);
+    check_bool "module emitted" true (contains out "module m");
+    check_bool "reduction directive" true (contains out "reduction(+:s)")
+  end
+
+let test_compile_policy_and_serial () =
+  if not (available ()) then ()
+  else begin
+    let rc, out =
+      run_capture
+        (Printf.sprintf "%s compile %s/saxpy.gpi --policy v2" exe scripts)
+    in
+    check_bool "exit 0" true (rc = 0);
+    (* the single loop is pruned by v2 *)
+    check_bool "no directive at v2" false (contains out "!$omp parallel do");
+    let rc, out =
+      run_capture (Printf.sprintf "%s compile %s/saxpy.gpi --serial" exe scripts)
+    in
+    check_bool "serial exit 0" true (rc = 0);
+    check_bool "serial has no omp" false (contains out "!$omp")
+  end
+
+let test_compile_c_and_opencl () =
+  if not (available ()) then ()
+  else begin
+    let rc, out =
+      run_capture (Printf.sprintf "%s compile %s/saxpy.gpi --lang c" exe scripts)
+    in
+    check_bool "c exit 0" true (rc = 0);
+    check_bool "c pragma" true (contains out "#pragma omp parallel for");
+    let rc, out =
+      run_capture (Printf.sprintf "%s compile %s/saxpy.gpi --lang opencl" exe scripts)
+    in
+    check_bool "opencl exit 0" true (rc = 0);
+    check_bool "kernel" true (contains out "__kernel void")
+  end
+
+let test_analyze () =
+  if not (available ()) then ()
+  else begin
+    let rc, out =
+      run_capture (Printf.sprintf "%s analyze %s/point_charge.gpi" exe scripts)
+    in
+    check_bool "exit 0" true (rc = 0);
+    check_bool "reports loop" true (contains out "loop over row");
+    check_bool "reduction found" true (contains out "reduction(sum_f)")
+  end
+
+let test_run_function () =
+  if not (available ()) then ()
+  else begin
+    (* with n = 0 the loop never runs, so the (scalar-filled) array
+       arguments are never indexed and the reduction result is 0 *)
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s run %s/saxpy.gpi --call axpy --arg 0 --arg 1.0 --arg 0 --arg 0"
+           exe scripts)
+    in
+    (* n = 0: empty loop, arrays never touched; result 0 *)
+    check_bool "exit 0" true (rc = 0);
+    check_bool "zero result" true (contains out "0")
+  end
+
+let test_check_against_legacy () =
+  if not (available ()) then ()
+  else begin
+    (* write the SARB legacy source to a file and check the shipped
+       integration script against it *)
+    let legacy = Filename.temp_file "oglaf_legacy" ".f90" in
+    let oc = open_out legacy in
+    output_string oc Glaf_workloads.Sarb_legacy.full_source;
+    close_out oc;
+    let rc, out =
+      run_capture
+        (Printf.sprintf "%s check %s/legacy_radiation.gpi --legacy %s" exe
+           scripts (Filename.quote legacy))
+    in
+    check_bool "exit 0" true (rc = 0);
+    check_bool "resolves" true (contains out "OK")
+  end
+
+let test_sloc_command () =
+  if not (available ()) then ()
+  else begin
+    let src = Filename.temp_file "oglaf_sloc" ".f90" in
+    let oc = open_out src in
+    output_string oc "subroutine s()\ninteger :: i\ni = 1\nend subroutine s\n";
+    close_out oc;
+    let rc, out = run_capture (Printf.sprintf "%s sloc %s" exe (Filename.quote src)) in
+    check_bool "exit 0" true (rc = 0);
+    check_bool "lists subprogram" true (contains out "s")
+  end
+
+let suites =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "compile fortran" `Quick test_compile_fortran;
+        Alcotest.test_case "policy + serial" `Quick test_compile_policy_and_serial;
+        Alcotest.test_case "c + opencl" `Quick test_compile_c_and_opencl;
+        Alcotest.test_case "analyze" `Quick test_analyze;
+        Alcotest.test_case "run" `Quick test_run_function;
+        Alcotest.test_case "check legacy" `Quick test_check_against_legacy;
+        Alcotest.test_case "sloc" `Quick test_sloc_command;
+      ] );
+  ]

@@ -1,0 +1,822 @@
+(* Interpreter tests: serial semantics, integration constructs
+   (COMMON, modules, TYPE elements, SAVE), and parallel execution. *)
+
+open Glaf_fortran
+open Glaf_runtime
+open Glaf_interp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let check_float msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+let state_of src = Interp.make_state (Parser.parse_string src)
+
+let call_scalar st name args =
+  match Interp.call st name args with
+  | Some v -> v
+  | None -> Alcotest.fail "expected a function result"
+
+(* --- basic evaluation ------------------------------------------------- *)
+
+let test_function_result () =
+  let st =
+    state_of
+      {|
+real*8 function square(x)
+  real*8 :: x
+  square = x * x
+end function square
+|}
+  in
+  check_float "square" 9.0 (Value.to_float (call_scalar st "square" [ Ast.Real_lit (3.0, true) ]))
+
+let test_integer_division () =
+  let st =
+    state_of
+      {|
+integer function idiv(a, b)
+  integer :: a, b
+  idiv = a / b
+end function idiv
+|}
+  in
+  check_int "7/2" 3
+    (Value.to_int (call_scalar st "idiv" [ Ast.Int_lit 7; Ast.Int_lit 2 ]))
+
+let test_intrinsics () =
+  let st =
+    state_of
+      {|
+real*8 function use_intrinsics(x)
+  real*8 :: x
+  use_intrinsics = abs(x) + alog(exp(1.0d0)) + max(1.0d0, 2.0d0, 0.5d0) + sign(3.0d0, -1.0d0)
+end function use_intrinsics
+|}
+  in
+  (* |x| + 1 + 2 + (-3) with x = -4 -> 4 *)
+  check_float "intrinsics" 4.0
+    (Value.to_float (call_scalar st "use_intrinsics" [ Ast.Real_lit (-4.0, true) ]))
+
+let test_sum_intrinsic_and_section () =
+  let st =
+    state_of
+      {|
+real*8 function partial_sum(n, a, k)
+  integer :: n, k
+  real*8, dimension(n) :: a
+  partial_sum = sum(a(1:k))
+end function partial_sum
+
+subroutine fill_iota(n, a)
+  integer :: n
+  real*8, dimension(n) :: a
+  integer :: i
+  do i = 1, n
+    a(i) = real(i)
+  end do
+end subroutine fill_iota
+
+real*8 function driver()
+  real*8, dimension(10) :: buf
+  call fill_iota(10, buf)
+  driver = partial_sum(10, buf, 4)
+end function driver
+|}
+  in
+  check_float "1+2+3+4" 10.0 (Value.to_float (call_scalar st "driver" []))
+
+let test_subroutine_aliasing () =
+  let st =
+    state_of
+      {|
+subroutine bump(x)
+  real*8 :: x
+  x = x + 1.0d0
+end subroutine bump
+
+real*8 function run_bump()
+  real*8 :: v
+  v = 10.0d0
+  call bump(v)
+  call bump(v)
+  run_bump = v
+end function run_bump
+|}
+  in
+  check_float "by-ref scalar" 12.0 (Value.to_float (call_scalar st "run_bump" []))
+
+let test_array_element_copyout () =
+  let st =
+    state_of
+      {|
+subroutine setval(x)
+  real*8 :: x
+  x = 42.0d0
+end subroutine setval
+
+real*8 function run_elem()
+  real*8, dimension(3) :: a
+  a(2) = 0.0d0
+  call setval(a(2))
+  run_elem = a(2)
+end function run_elem
+|}
+  in
+  check_float "copy-out to element" 42.0 (Value.to_float (call_scalar st "run_elem" []))
+
+let test_whole_array_argument () =
+  let st =
+    state_of
+      {|
+subroutine scale(n, a, f)
+  integer :: n
+  real*8 :: f
+  real*8, dimension(n) :: a
+  integer :: i
+  do i = 1, n
+    a(i) = a(i) * f
+  end do
+end subroutine scale
+
+real*8 function run_scale()
+  real*8, dimension(4) :: a
+  integer :: i
+  do i = 1, 4
+    a(i) = 1.0d0
+  end do
+  call scale(4, a, 5.0d0)
+  run_scale = sum(a)
+end function run_scale
+|}
+  in
+  check_float "aliased array" 20.0 (Value.to_float (call_scalar st "run_scale" []))
+
+let test_if_else_chain () =
+  let st =
+    state_of
+      {|
+integer function classify(x)
+  real*8 :: x
+  if (x > 1.0d0) then
+    classify = 1
+  else if (x > 0.0d0) then
+    classify = 2
+  else
+    classify = 3
+  end if
+end function classify
+|}
+  in
+  let c x = Value.to_int (call_scalar st "classify" [ Ast.Real_lit (x, true) ]) in
+  check_int "big" 1 (c 2.0);
+  check_int "mid" 2 (c 0.5);
+  check_int "neg" 3 (-0.5 |> c)
+
+let test_do_loops_exit_cycle () =
+  let st =
+    state_of
+      {|
+integer function count_even_until(n, stop_at)
+  integer :: n, stop_at
+  integer :: i, c
+  c = 0
+  do i = 1, n
+    if (i == stop_at) exit
+    if (mod(i, 2) == 1) cycle
+    c = c + 1
+  end do
+  count_even_until = c
+end function count_even_until
+|}
+  in
+  check_int "evens below 7" 3
+    (Value.to_int (call_scalar st "count_even_until" [ Ast.Int_lit 100; Ast.Int_lit 7 ]))
+
+let test_do_step () =
+  let st =
+    state_of
+      {|
+integer function sum_step(n)
+  integer :: n
+  integer :: i, s
+  s = 0
+  do i = n, 1, -2
+    s = s + i
+  end do
+  sum_step = s
+end function sum_step
+|}
+  in
+  (* 10+8+6+4+2 = 30 *)
+  check_int "negative step" 30
+    (Value.to_int (call_scalar st "sum_step" [ Ast.Int_lit 10 ]))
+
+let test_do_while () =
+  let st =
+    state_of
+      {|
+integer function collatz_steps(n0)
+  integer :: n0
+  integer :: n, steps
+  n = n0
+  steps = 0
+  do while (n /= 1)
+    if (mod(n, 2) == 0) then
+      n = n / 2
+    else
+      n = 3 * n + 1
+    end if
+    steps = steps + 1
+  end do
+  collatz_steps = steps
+end function collatz_steps
+|}
+  in
+  check_int "collatz(6)" 8
+    (Value.to_int (call_scalar st "collatz_steps" [ Ast.Int_lit 6 ]))
+
+(* --- integration constructs (paper §3) --------------------------------- *)
+
+let test_module_scope_variables () =
+  let st =
+    state_of
+      {|
+module shared_state
+  implicit none
+  real*8 :: accumulator = 0.0d0
+  integer, parameter :: nv = 5
+  real*8, dimension(nv) :: level
+contains
+  subroutine accumulate(x)
+    real*8 :: x
+    accumulator = accumulator + x
+  end subroutine accumulate
+  subroutine set_levels()
+    integer :: k
+    do k = 1, nv
+      level(k) = k * 10.0d0
+    end do
+  end subroutine set_levels
+end module shared_state
+|}
+  in
+  ignore (Interp.call st "accumulate" [ Ast.Real_lit (2.5, true) ]);
+  ignore (Interp.call st "accumulate" [ Ast.Real_lit (1.5, true) ]);
+  check_float "module accumulator" 4.0
+    (Value.to_float (Interp.module_scalar st ~module_name:"shared_state" ~var:"accumulator"));
+  ignore (Interp.call st "set_levels" []);
+  let a = Interp.module_array st ~module_name:"shared_state" ~var:"level" in
+  check_float "level(3)" 30.0 (Farray.get_float a [| 3 |])
+
+let test_use_module_from_external_sub () =
+  let st =
+    state_of
+      {|
+module config
+  implicit none
+  real*8 :: factor = 3.0d0
+end module config
+
+real*8 function apply_factor(x)
+  use config
+  real*8 :: x
+  apply_factor = x * factor
+end function apply_factor
+|}
+  in
+  check_float "use module var" 6.0
+    (Value.to_float (call_scalar st "apply_factor" [ Ast.Real_lit (2.0, true) ]))
+
+let test_common_block_sharing () =
+  let st =
+    state_of
+      {|
+subroutine producer()
+  common /shared/ total, count
+  real*8 :: total
+  integer :: count
+  total = 12.5d0
+  count = 4
+end subroutine producer
+
+real*8 function consumer()
+  common /shared/ total, count
+  real*8 :: total
+  integer :: count
+  consumer = total / count
+end function consumer
+|}
+  in
+  ignore (Interp.call st "producer" []);
+  check_float "common shared" 3.125 (Value.to_float (call_scalar st "consumer" []));
+  check_float "common introspection" 12.5
+    (Value.to_float (Interp.common_scalar st ~block:"shared" ~var:"total"))
+
+let test_type_elements () =
+  let st =
+    state_of
+      {|
+module particle_mod
+  implicit none
+  type :: particle_t
+    real*8 :: charge
+    real*8, dimension(3) :: pos
+  end type particle_t
+  type(particle_t) :: p1
+end module particle_mod
+
+subroutine init_particle()
+  use particle_mod
+  p1%charge = -1.0d0
+  p1%pos(1) = 0.5d0
+  p1%pos(2) = 1.5d0
+  p1%pos(3) = 2.5d0
+end subroutine init_particle
+
+real*8 function particle_norm()
+  use particle_mod
+  particle_norm = p1%charge * (p1%pos(1) + p1%pos(2) + p1%pos(3))
+end function particle_norm
+|}
+  in
+  ignore (Interp.call st "init_particle" []);
+  check_float "type element access" (-4.5)
+    (Value.to_float (call_scalar st "particle_norm" []))
+
+let test_derived_type_array () =
+  let st =
+    state_of
+      {|
+module cells_mod
+  implicit none
+  type :: cell_t
+    real*8 :: volume
+  end type cell_t
+  type(cell_t), dimension(4) :: cells
+end module cells_mod
+
+real*8 function total_volume()
+  use cells_mod
+  integer :: i
+  do i = 1, 4
+    cells(i)%volume = i * 1.0d0
+  end do
+  total_volume = 0.0d0
+  do i = 1, 4
+    total_volume = total_volume + cells(i)%volume
+  end do
+end function total_volume
+|}
+  in
+  check_float "array of derived" 10.0 (Value.to_float (call_scalar st "total_volume" []))
+
+let test_save_attribute_persistence () =
+  let st =
+    state_of
+      {|
+integer function counter()
+  integer, save :: n = 0
+  n = n + 1
+  counter = n
+end function counter
+|}
+  in
+  check_int "first" 1 (Value.to_int (call_scalar st "counter" []));
+  check_int "second" 2 (Value.to_int (call_scalar st "counter" []));
+  check_int "third" 3 (Value.to_int (call_scalar st "counter" []))
+
+let test_allocatable_and_alloc_count () =
+  let st =
+    state_of
+      {|
+real*8 function with_temp(n)
+  integer :: n
+  real*8, allocatable :: tmp(:)
+  integer :: i
+  allocate(tmp(n))
+  do i = 1, n
+    tmp(i) = 2.0d0
+  end do
+  with_temp = sum(tmp)
+  deallocate(tmp)
+end function with_temp
+|}
+  in
+  Interp.reset_allocations st;
+  check_float "allocatable sum" 10.0
+    (Value.to_float (call_scalar st "with_temp" [ Ast.Int_lit 5 ]));
+  check_int "one allocation" 1 (Interp.allocations st);
+  ignore (call_scalar st "with_temp" [ Ast.Int_lit 5 ]);
+  check_int "reallocation counted" 2 (Interp.allocations st)
+
+let test_save_avoids_reallocation () =
+  let st =
+    state_of
+      {|
+real*8 function with_saved_temp(n)
+  integer :: n
+  real*8, allocatable, save :: tmp(:)
+  integer :: i
+  if (.not. allocated(tmp)) then
+    allocate(tmp(n))
+  end if
+  do i = 1, n
+    tmp(i) = 3.0d0
+  end do
+  with_saved_temp = sum(tmp)
+end function with_saved_temp
+|}
+  in
+  Interp.reset_allocations st;
+  ignore (call_scalar st "with_saved_temp" [ Ast.Int_lit 4 ]);
+  ignore (call_scalar st "with_saved_temp" [ Ast.Int_lit 4 ]);
+  ignore (call_scalar st "with_saved_temp" [ Ast.Int_lit 4 ]);
+  check_int "only first call allocates" 1 (Interp.allocations st)
+
+(* --- parallel execution ------------------------------------------------ *)
+
+let par_sum_src =
+  {|
+real*8 function par_sum(n, t)
+  integer :: n, t
+  real*8 :: s
+  integer :: i
+  s = 0.0d0
+!$omp parallel do private(i) reduction(+:s) num_threads(t)
+  do i = 1, n
+    s = s + i * 1.0d0
+  end do
+!$omp end parallel do
+  par_sum = s
+end function par_sum
+|}
+
+let test_parallel_reduction () =
+  let st = state_of par_sum_src in
+  let run t =
+    Value.to_float
+      (call_scalar st "par_sum" [ Ast.Int_lit 1000; Ast.Int_lit t ])
+  in
+  check_float "1 thread" 500500.0 (run 1);
+  check_float "4 threads" 500500.0 (run 4);
+  check_float "3 threads (uneven chunks)" 500500.0 (run 3)
+
+let test_parallel_array_writes () =
+  let st =
+    state_of
+      {|
+subroutine fill_squares(n, a, t)
+  integer :: n, t
+  real*8, dimension(n) :: a
+  integer :: i
+!$omp parallel do private(i) num_threads(t)
+  do i = 1, n
+    a(i) = i * i * 1.0d0
+  end do
+!$omp end parallel do
+end subroutine fill_squares
+
+real*8 function check_squares(n, t)
+  integer :: n, t
+  real*8, dimension(n) :: a
+  integer :: i
+  real*8 :: err
+  call fill_squares(n, a, t)
+  err = 0.0d0
+  do i = 1, n
+    err = err + abs(a(i) - i * i)
+  end do
+  check_squares = err
+end function check_squares
+|}
+  in
+  check_float "parallel writes correct" 0.0
+    (Value.to_float
+       (call_scalar st "check_squares" [ Ast.Int_lit 500; Ast.Int_lit 4 ]))
+
+let test_parallel_collapse2 () =
+  let st =
+    state_of
+      {|
+real*8 function mat_sum(n, m, t)
+  integer :: n, m, t
+  real*8 :: s
+  integer :: i, j
+  s = 0.0d0
+!$omp parallel do private(i, j) reduction(+:s) collapse(2) num_threads(t)
+  do i = 1, n
+    do j = 1, m
+      s = s + (i * 1000 + j) * 1.0d0
+    end do
+  end do
+!$omp end parallel do
+  mat_sum = s
+end function mat_sum
+|}
+  in
+  let expected n m =
+    let s = ref 0.0 in
+    for i = 1 to n do
+      for j = 1 to m do
+        s := !s +. float_of_int ((i * 1000) + j)
+      done
+    done;
+    !s
+  in
+  let run n m t =
+    Value.to_float
+      (call_scalar st "mat_sum" [ Ast.Int_lit n; Ast.Int_lit m; Ast.Int_lit t ])
+  in
+  check_float "collapse serial-equal" (expected 2 60) (run 2 60 4);
+  check_float "collapse odd split" (expected 7 13) (run 7 13 5)
+
+let test_parallel_private_scalar () =
+  let st =
+    state_of
+      {|
+real*8 function private_tmp(n, t)
+  integer :: n, t
+  real*8, dimension(1000) :: a
+  real*8 :: tmp
+  integer :: i
+  tmp = -1.0d0
+!$omp parallel do private(i, tmp) num_threads(t)
+  do i = 1, n
+    tmp = i * 2.0d0
+    a(i) = tmp
+  end do
+!$omp end parallel do
+  private_tmp = a(n) + tmp
+end function private_tmp
+|}
+  in
+  (* tmp outside stays -1 (private copies never written back) *)
+  check_float "private semantics" (2.0 *. 800.0 -. 1.0)
+    (Value.to_float (call_scalar st "private_tmp" [ Ast.Int_lit 800; Ast.Int_lit 4 ]))
+
+let test_parallel_firstprivate () =
+  let st =
+    state_of
+      {|
+real*8 function fp_base(n, t)
+  integer :: n, t
+  real*8 :: base
+  real*8, dimension(100) :: a
+  integer :: i
+  base = 7.0d0
+!$omp parallel do private(i) firstprivate(base) num_threads(t)
+  do i = 1, n
+    a(i) = base + i
+  end do
+!$omp end parallel do
+  fp_base = a(10)
+end function fp_base
+|}
+  in
+  check_float "firstprivate copies in" 17.0
+    (Value.to_float (call_scalar st "fp_base" [ Ast.Int_lit 100; Ast.Int_lit 4 ]))
+
+let test_parallel_atomic () =
+  let st =
+    state_of
+      {|
+integer function atomic_count(n, t)
+  integer :: n, t
+  integer :: c
+  integer :: i
+  c = 0
+!$omp parallel do private(i) num_threads(t)
+  do i = 1, n
+!$omp atomic
+    c = c + 1
+  end do
+!$omp end parallel do
+  atomic_count = c
+end function atomic_count
+|}
+  in
+  check_int "atomic increments" 2000
+    (Value.to_int (call_scalar st "atomic_count" [ Ast.Int_lit 2000; Ast.Int_lit 8 ]))
+
+let test_parallel_critical () =
+  let st =
+    state_of
+      {|
+real*8 function critical_max(n, t)
+  integer :: n, t
+  real*8 :: best
+  integer :: i
+  best = -1.0d0
+!$omp parallel do private(i) num_threads(t)
+  do i = 1, n
+!$omp critical
+    if (i * 1.0d0 > best) then
+      best = i * 1.0d0
+    end if
+!$omp end critical
+  end do
+!$omp end parallel do
+  critical_max = best
+end function critical_max
+|}
+  in
+  check_float "critical max" 700.0
+    (Value.to_float (call_scalar st "critical_max" [ Ast.Int_lit 700; Ast.Int_lit 4 ]))
+
+let test_parallel_reduction_multi_var () =
+  let st =
+    state_of
+      {|
+real*8 function two_outputs(n, t)
+  integer :: n, t
+  real*8 :: s1, s2
+  integer :: i
+  s1 = 0.0d0
+  s2 = 0.0d0
+!$omp parallel do private(i) reduction(+:s1, s2) num_threads(t)
+  do i = 1, n
+    s1 = s1 + 1.0d0
+    s2 = s2 + 2.0d0
+  end do
+!$omp end parallel do
+  two_outputs = s2 - s1
+end function two_outputs
+|}
+  in
+  check_float "multi-var reduction" 300.0
+    (Value.to_float (call_scalar st "two_outputs" [ Ast.Int_lit 300; Ast.Int_lit 4 ]))
+
+let test_parallel_reduction_max () =
+  let st =
+    state_of
+      {|
+real*8 function red_max(n, t)
+  integer :: n, t
+  real*8 :: m
+  integer :: i
+  m = -1.0d30
+!$omp parallel do private(i) reduction(max:m) num_threads(t)
+  do i = 1, n
+    if (mod(i, 2) == 0) then
+      m = max(m, i * 1.0d0)
+    end if
+  end do
+!$omp end parallel do
+  red_max = m
+end function red_max
+|}
+  in
+  check_float "max reduction" 1000.0
+    (Value.to_float (call_scalar st "red_max" [ Ast.Int_lit 1001; Ast.Int_lit 4 ]))
+
+(* property: parallel result equals serial result for random sizes *)
+
+let prop_parallel_equals_serial =
+  QCheck.Test.make ~name:"parallel sum equals serial" ~count:25
+    QCheck.(pair (int_range 1 2000) (int_range 1 8))
+    (fun (n, t) ->
+      let st = state_of par_sum_src in
+      let serial =
+        Value.to_float (call_scalar st "par_sum" [ Ast.Int_lit n; Ast.Int_lit 1 ])
+      in
+      let par =
+        Value.to_float (call_scalar st "par_sum" [ Ast.Int_lit n; Ast.Int_lit t ])
+      in
+      Float.abs (serial -. par) < 1e-6)
+
+(* --- error paths --------------------------------------------------------- *)
+
+let expect_fortran_error src fname args =
+  let st = state_of src in
+  match Interp.call st fname args with
+  | _ -> Alcotest.fail "expected a runtime error"
+  | exception Interp.Fortran_error _ -> ()
+  | exception Glaf_runtime.Value.Runtime_error _ -> ()
+  | exception Glaf_runtime.Farray.Bounds_error _ -> ()
+
+let test_error_unknown_variable () =
+  expect_fortran_error
+    "subroutine f()\nimplicit none\nx = 1.0d0\nend subroutine f" "f" []
+
+let test_error_out_of_bounds () =
+  expect_fortran_error
+    "subroutine f()\nreal*8 :: a(3)\na(5) = 1.0d0\nend subroutine f" "f" []
+
+let test_error_use_before_allocate () =
+  expect_fortran_error
+    "subroutine f()\nreal*8, allocatable :: a(:)\na(1) = 1.0d0\nend subroutine f"
+    "f" []
+
+let test_error_wrong_arity () =
+  expect_fortran_error
+    "subroutine g(x)\nreal*8 :: x\nend subroutine g\nsubroutine f()\ncall g(1.0d0, 2.0d0)\nend subroutine f"
+    "f" []
+
+let test_error_division_by_zero () =
+  expect_fortran_error
+    "integer function f()\ninteger :: z\nz = 0\nf = 7 / z\nend function f" "f" []
+
+let test_error_unknown_subroutine () =
+  expect_fortran_error "subroutine f()\ncall missing()\nend subroutine f" "f" []
+
+let test_error_parallel_nonunit_step () =
+  expect_fortran_error
+    {|
+subroutine f(n)
+  integer :: n
+  integer :: i
+  real*8 :: a(100)
+!$omp parallel do private(i)
+  do i = n, 1, -2
+    a(i) = 1.0d0
+  end do
+!$omp end parallel do
+end subroutine f
+|}
+    "f" [ Ast.Int_lit 50 ]
+
+(* implicit typing honoured when IMPLICIT NONE is absent *)
+let test_implicit_typing () =
+  let st =
+    state_of
+      "real*8 function f()\nxval = 2.5d0\nkount = 3\nf = xval * kount\nend function f"
+  in
+  check_float "implicit real*variable" 7.5 (Value.to_float (call_scalar st "f" []))
+
+(* --- main program / print ----------------------------------------------- *)
+
+let test_main_program_print () =
+  let out = Buffer.create 64 in
+  let st =
+    Interp.make_state
+      ~printer:(Buffer.add_string out)
+      (Parser.parse_string
+         "program hello\ninteger :: i\ni = 41\nprint *, 'answer', i + 1\nend program hello")
+  in
+  Interp.run_main st;
+  check_bool "printed" true (Buffer.contents out = "answer 42\n")
+
+let test_stop_statement () =
+  let st =
+    Interp.make_state ~printer:ignore
+      (Parser.parse_string
+         "program p\ninteger :: i\ni = 1\nstop 'done'\ni = 2\nend program p")
+  in
+  Interp.run_main st
+
+let suites =
+  [
+    ( "interp.basic",
+      [
+        Alcotest.test_case "function result" `Quick test_function_result;
+        Alcotest.test_case "integer division" `Quick test_integer_division;
+        Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+        Alcotest.test_case "sum + section" `Quick test_sum_intrinsic_and_section;
+        Alcotest.test_case "by-ref aliasing" `Quick test_subroutine_aliasing;
+        Alcotest.test_case "element copy-out" `Quick test_array_element_copyout;
+        Alcotest.test_case "whole-array arg" `Quick test_whole_array_argument;
+        Alcotest.test_case "if/else chain" `Quick test_if_else_chain;
+        Alcotest.test_case "exit/cycle" `Quick test_do_loops_exit_cycle;
+        Alcotest.test_case "negative step" `Quick test_do_step;
+        Alcotest.test_case "do while" `Quick test_do_while;
+        Alcotest.test_case "main + print" `Quick test_main_program_print;
+        Alcotest.test_case "stop" `Quick test_stop_statement;
+        Alcotest.test_case "implicit typing" `Quick test_implicit_typing;
+      ] );
+    ( "interp.errors",
+      [
+        Alcotest.test_case "unknown variable" `Quick test_error_unknown_variable;
+        Alcotest.test_case "out of bounds" `Quick test_error_out_of_bounds;
+        Alcotest.test_case "use before allocate" `Quick test_error_use_before_allocate;
+        Alcotest.test_case "wrong arity" `Quick test_error_wrong_arity;
+        Alcotest.test_case "division by zero" `Quick test_error_division_by_zero;
+        Alcotest.test_case "unknown subroutine" `Quick test_error_unknown_subroutine;
+        Alcotest.test_case "parallel non-unit step" `Quick test_error_parallel_nonunit_step;
+      ] );
+    ( "interp.integration",
+      [
+        Alcotest.test_case "module-scope vars" `Quick test_module_scope_variables;
+        Alcotest.test_case "use from external sub" `Quick test_use_module_from_external_sub;
+        Alcotest.test_case "common blocks" `Quick test_common_block_sharing;
+        Alcotest.test_case "type elements" `Quick test_type_elements;
+        Alcotest.test_case "derived-type array" `Quick test_derived_type_array;
+        Alcotest.test_case "save persistence" `Quick test_save_attribute_persistence;
+        Alcotest.test_case "allocatable count" `Quick test_allocatable_and_alloc_count;
+        Alcotest.test_case "save avoids realloc" `Quick test_save_avoids_reallocation;
+      ] );
+    ( "interp.parallel",
+      [
+        Alcotest.test_case "reduction" `Quick test_parallel_reduction;
+        Alcotest.test_case "array writes" `Quick test_parallel_array_writes;
+        Alcotest.test_case "collapse(2)" `Quick test_parallel_collapse2;
+        Alcotest.test_case "private scalar" `Quick test_parallel_private_scalar;
+        Alcotest.test_case "firstprivate" `Quick test_parallel_firstprivate;
+        Alcotest.test_case "atomic" `Quick test_parallel_atomic;
+        Alcotest.test_case "critical" `Quick test_parallel_critical;
+        Alcotest.test_case "multi-var reduction" `Quick test_parallel_reduction_multi_var;
+        Alcotest.test_case "max reduction" `Quick test_parallel_reduction_max;
+        QCheck_alcotest.to_alcotest prop_parallel_equals_serial;
+      ] );
+  ]

@@ -1,0 +1,342 @@
+(* Unit and property tests for the grid IR (lib/ir). *)
+
+open Glaf_ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_slist = Alcotest.(check (list string))
+
+(* --- Expr ------------------------------------------------------------ *)
+
+let test_expr_builders () =
+  let e = Expr.(var "a" + idx "b" [ var "i" ] * real 2.0) in
+  check_int "size" 6 (Expr.size e);
+  check_slist "grids read" [ "a"; "b"; "i" ] (Expr.grids_read e)
+
+let test_expr_mentions () =
+  let e = Expr.(idx "a" [ var "i" + int 1 ]) in
+  check_bool "mentions a" true (Expr.mentions "a" e);
+  check_bool "mentions i" true (Expr.mentions "i" e);
+  check_bool "mentions j" false (Expr.mentions "j" e)
+
+let test_expr_subst () =
+  let e = Expr.(var "x" + idx "a" [ var "x" ]) in
+  let e' = Expr.subst_var "x" (Expr.int 7) e in
+  check_bool "x gone" false (Expr.mentions "x" e');
+  match e' with
+  | Expr.Binop (Expr.Add, Expr.Int_lit 7, Expr.Ref r) ->
+    Alcotest.(check (list (of_pp Fmt.nop)))
+      "index substituted" [ Expr.Int_lit 7 ] r.Expr.indices
+  | _ -> Alcotest.fail "unexpected shape"
+
+let affinity = Alcotest.testable (fun ppf (a : Expr.affinity) ->
+    match a with
+    | Expr.Constant -> Fmt.string ppf "Constant"
+    | Expr.Identity -> Fmt.string ppf "Identity"
+    | Expr.Affine (a, b) -> Fmt.pf ppf "Affine(%d,%d)" a b
+    | Expr.Nonlinear -> Fmt.string ppf "Nonlinear")
+    (fun a b -> a = b)
+
+let test_affinity () =
+  let open Expr in
+  Alcotest.check affinity "const" Constant (affinity_of ~var:"i" (int 3));
+  Alcotest.check affinity "other var" Constant (affinity_of ~var:"i" (var "j"));
+  Alcotest.check affinity "identity" Identity (affinity_of ~var:"i" (var "i"));
+  Alcotest.check affinity "affine" (Affine (2, 3))
+    (affinity_of ~var:"i" ((int 2 * var "i") + int 3));
+  Alcotest.check affinity "affine neg" (Affine (-1, 5))
+    (affinity_of ~var:"i" (int 5 - var "i"));
+  Alcotest.check affinity "nonlinear" Nonlinear
+    (affinity_of ~var:"i" (var "i" * var "i"));
+  Alcotest.check affinity "indexed" Nonlinear
+    (affinity_of ~var:"i" (idx "a" [ var "i" ]))
+
+(* --- Stmt ------------------------------------------------------------ *)
+
+let sample_loop =
+  Stmt.for_ "i" ~lo:(Expr.int 1) ~hi:(Expr.var "n")
+    [
+      Stmt.assign_idx "a" [ Expr.var "i" ]
+        Expr.(idx "b" [ var "i" ] + var "c");
+    ]
+
+let test_stmt_reads_writes () =
+  let stmts = [ sample_loop ] in
+  check_slist "writes" [ "a" ] (Stmt.grids_written stmts);
+  check_slist "reads" [ "b"; "c"; "i"; "n" ] (Stmt.grids_read stmts)
+
+let test_stmt_loop_depth () =
+  let nested =
+    Stmt.for_ "i" ~lo:(Expr.int 1) ~hi:(Expr.int 10)
+      [
+        Stmt.for_ "j" ~lo:(Expr.int 1) ~hi:(Expr.int 10)
+          [ Stmt.assign_var "s" (Expr.int 0) ];
+      ]
+  in
+  check_int "depth 2" 2 (Stmt.loop_depth [ nested ]);
+  check_int "depth 1" 1 (Stmt.loop_depth [ sample_loop ]);
+  check_int "depth 0" 0 (Stmt.loop_depth [ Stmt.assign_var "x" (Expr.int 1) ])
+
+let test_stmt_calls () =
+  let stmts =
+    [
+      Stmt.Call ("edge_loop", [ Expr.var "k" ]);
+      Stmt.assign_var "x" (Expr.call "abs" [ Expr.var "y" ]);
+    ]
+  in
+  check_slist "calls" [ "abs"; "edge_loop" ] (Stmt.calls stmts)
+
+let test_stmt_count () =
+  check_int "count nested" 2 (Stmt.count [ sample_loop ])
+
+(* --- Grid ------------------------------------------------------------ *)
+
+let test_grid_basics () =
+  let g =
+    Grid.array Types.T_real8
+      ~dims:[ Grid.dim (Grid.Fixed 4); Grid.dim (Grid.Sym "n") ]
+      "a"
+  in
+  check_bool "not scalar" false (Grid.is_scalar g);
+  check_int "rank" 2 (Grid.num_dims g);
+  check_bool "fixed size unknown" true (Grid.fixed_size g = None);
+  check_slist "extent deps" [ "n" ] (Grid.extent_deps g);
+  let g2 =
+    Grid.array Types.T_real ~dims:[ Grid.dim (Grid.Fixed 3); Grid.dim (Grid.Fixed 5) ] "b"
+  in
+  check_bool "fixed size" true (Grid.fixed_size g2 = Some 15)
+
+let test_grid_storage () =
+  let ext = Grid.scalar ~storage:(Grid.External_module "fuinput") Types.T_real8 "fi_val" in
+  check_bool "external declared" true (Grid.externally_declared ext);
+  let common = Grid.scalar ~storage:(Grid.Common "cblk") Types.T_int "nv" in
+  check_bool "common locally declared" false (Grid.externally_declared common);
+  let arg = Grid.scalar ~storage:(Grid.Arg 0) Types.T_int "n" in
+  check_bool "is argument" true (Grid.is_argument arg);
+  check_bool "arg position" true (Grid.arg_position arg = Some 0)
+
+(* --- Validate -------------------------------------------------------- *)
+
+let valid_function () =
+  let grids =
+    [
+      Grid.scalar ~storage:(Grid.Arg 0) Types.T_int "n";
+      Grid.array ~storage:(Grid.Arg 1) Types.T_real8
+        ~dims:[ Grid.dim (Grid.Sym "n") ] "a";
+      Grid.scalar Types.T_real8 "s";
+    ]
+  in
+  Func.make "sum_a" ~params:[ "n"; "a" ] ~grids
+    ~steps:
+      [
+        Func.step "init" [ Stmt.assign_var "s" (Expr.real 0.0) ];
+        Func.step "accumulate"
+          [
+            Stmt.for_ "i" ~lo:(Expr.int 1) ~hi:(Expr.var "n")
+              [ Stmt.assign_var "s" Expr.(var "s" + idx "a" [ var "i" ]) ];
+          ];
+      ]
+
+let program_of_functions fns =
+  Ir_module.program "test_prog"
+    ~modules:[ Ir_module.make "module1" ~functions:fns ]
+
+let test_validate_ok () =
+  let p = program_of_functions [ valid_function () ] in
+  Alcotest.(check int) "no errors" 0 (List.length (Validate.program p))
+
+let test_validate_unknown_grid () =
+  let f =
+    Func.make "bad" ~grids:[]
+      ~steps:[ Func.step "s" [ Stmt.assign_var "x" (Expr.int 1) ] ]
+  in
+  let errs = Validate.program (program_of_functions [ f ]) in
+  check_bool "caught unknown grid" true
+    (List.exists (fun e -> e.Validate.what = {|reference to unknown grid "x"|}) errs)
+
+(* substring check without extra deps *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_validate_rank_mismatch () =
+  let f =
+    Func.make "bad_rank"
+      ~grids:[ Grid.array Types.T_real8 ~dims:[ Grid.dim (Grid.Fixed 4) ] "a" ]
+      ~steps:
+        [
+          Func.step "s"
+            [ Stmt.assign_idx "a" [ Expr.int 1; Expr.int 2 ] (Expr.int 0) ];
+        ]
+  in
+  let errs = Validate.program (program_of_functions [ f ]) in
+  check_bool "rank error" true
+    (List.exists (fun e -> contains e.Validate.what "rank") errs)
+
+let test_validate_external_init () =
+  let g =
+    Grid.make ~storage:(Grid.External_module "legacy") ~init:Grid.Zero_init "x"
+  in
+  let f = Func.make "f" ~grids:[ g ] ~steps:[] in
+  let errs = Validate.program (program_of_functions [ f ]) in
+  check_bool "external init rejected" true (List.length errs > 0)
+
+let test_validate_duplicate_grid () =
+  let f =
+    Func.make "dup"
+      ~grids:[ Grid.scalar Types.T_int "x"; Grid.scalar Types.T_real "x" ]
+      ~steps:[]
+  in
+  let errs = Validate.program (program_of_functions [ f ]) in
+  check_bool "dup caught" true (List.length errs > 0)
+
+let test_validate_shadowed_index () =
+  let f =
+    Func.make "shadow" ~grids:[ Grid.scalar Types.T_real8 "s" ]
+      ~steps:
+        [
+          Func.step "s"
+            [
+              Stmt.for_ "i" ~lo:(Expr.int 1) ~hi:(Expr.int 10)
+                [
+                  Stmt.for_ "i" ~lo:(Expr.int 1) ~hi:(Expr.int 5)
+                    [ Stmt.assign_var "s" (Expr.var "i") ];
+                ];
+            ];
+        ]
+  in
+  let errs = Validate.program (program_of_functions [ f ]) in
+  check_bool "shadow caught" true (List.length errs > 0)
+
+let test_validate_call_arity () =
+  let callee = valid_function () in
+  let caller =
+    Func.make "caller"
+      ~grids:[ Grid.scalar Types.T_int "n" ]
+      ~steps:[ Func.step "s" [ Stmt.Call ("sum_a", [ Expr.var "n" ]) ] ]
+  in
+  let errs = Validate.program (program_of_functions [ callee; caller ]) in
+  check_bool "arity caught" true (List.length errs > 0)
+
+(* --- Func / Ir_module ------------------------------------------------- *)
+
+let test_func_integration_queries () =
+  let grids =
+    [
+      Grid.scalar ~storage:(Grid.External_module "fuinput") Types.T_real8 "pp";
+      Grid.scalar ~storage:(Grid.Type_element ("fuoutput", "fo")) Types.T_real8 "fds";
+      Grid.scalar ~storage:(Grid.Common "radblk") Types.T_real8 "tau";
+      Grid.scalar ~storage:(Grid.Common "radblk") Types.T_real8 "omega";
+      Grid.scalar Types.T_int "k";
+    ]
+  in
+  let f = Func.make "kernel" ~grids ~steps:[] in
+  check_slist "used modules" [ "fuinput"; "fuoutput" ] (Func.used_modules f);
+  (match Func.common_blocks f with
+  | [ ("radblk", members) ] ->
+    check_slist "members" [ "tau"; "omega" ]
+      (List.map (fun g -> g.Grid.name) members)
+  | _ -> Alcotest.fail "expected one COMMON block");
+  check_slist "locals" [ "tau"; "omega"; "k" ]
+    (List.map (fun g -> g.Grid.name) (Func.local_grids f))
+
+let test_resolve_grid () =
+  let global = Grid.scalar Types.T_int "g" in
+  let mgrid = Grid.scalar ~storage:Grid.Module_scope Types.T_int "m" in
+  let local = Grid.scalar Types.T_int "l" in
+  let f = Func.make "f" ~grids:[ local ] ~steps:[] in
+  let m = Ir_module.make "mod1" ~module_grids:[ mgrid ] ~functions:[ f ] in
+  let p = Ir_module.program "p" ~globals:[ global ] ~modules:[ m ] in
+  check_bool "local" true (Ir_module.resolve_grid p m f "l" = Some local);
+  check_bool "module" true (Ir_module.resolve_grid p m f "m" = Some mgrid);
+  check_bool "global" true (Ir_module.resolve_grid p m f "g" = Some global);
+  check_bool "missing" true (Ir_module.resolve_grid p m f "zz" = None)
+
+(* --- properties ------------------------------------------------------- *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map Expr.int (int_range (-100) 100);
+                map Expr.real (float_range (-10.) 10.);
+                map Expr.var (oneofl [ "a"; "b"; "i"; "j" ]);
+              ]
+          else
+            oneof
+              [
+                map2
+                  (fun a b -> Expr.(a + b))
+                  (self (n / 2)) (self (n / 2));
+                map2
+                  (fun a b -> Expr.(a * b))
+                  (self (n / 2)) (self (n / 2));
+                map Expr.neg (self (n - 1));
+                map
+                  (fun e -> Expr.idx "arr" [ e ])
+                  (self (n - 1));
+              ])
+        (min n 12))
+
+let arb_expr = QCheck.make ~print:Pp.expr_to_string gen_expr
+
+let prop_fold_size_positive =
+  QCheck.Test.make ~name:"expr size positive" ~count:200 arb_expr (fun e ->
+      Expr.size e > 0)
+
+let prop_subst_removes_var =
+  QCheck.Test.make ~name:"subst removes variable" ~count:200 arb_expr (fun e ->
+      let e' = Expr.subst_var "a" (Expr.int 0) e in
+      not (Expr.mentions "a" e'))
+
+let prop_grids_read_sorted =
+  QCheck.Test.make ~name:"grids_read sorted unique" ~count:200 arb_expr
+    (fun e ->
+      let gs = Expr.grids_read e in
+      List.sort_uniq String.compare gs = gs)
+
+let suites =
+  [
+    ( "ir.expr",
+      [
+        Alcotest.test_case "builders" `Quick test_expr_builders;
+        Alcotest.test_case "mentions" `Quick test_expr_mentions;
+        Alcotest.test_case "subst" `Quick test_expr_subst;
+        Alcotest.test_case "affinity" `Quick test_affinity;
+        QCheck_alcotest.to_alcotest prop_fold_size_positive;
+        QCheck_alcotest.to_alcotest prop_subst_removes_var;
+        QCheck_alcotest.to_alcotest prop_grids_read_sorted;
+      ] );
+    ( "ir.stmt",
+      [
+        Alcotest.test_case "reads/writes" `Quick test_stmt_reads_writes;
+        Alcotest.test_case "loop depth" `Quick test_stmt_loop_depth;
+        Alcotest.test_case "calls" `Quick test_stmt_calls;
+        Alcotest.test_case "count" `Quick test_stmt_count;
+      ] );
+    ( "ir.grid",
+      [
+        Alcotest.test_case "basics" `Quick test_grid_basics;
+        Alcotest.test_case "storage" `Quick test_grid_storage;
+      ] );
+    ( "ir.validate",
+      [
+        Alcotest.test_case "valid program" `Quick test_validate_ok;
+        Alcotest.test_case "unknown grid" `Quick test_validate_unknown_grid;
+        Alcotest.test_case "rank mismatch" `Quick test_validate_rank_mismatch;
+        Alcotest.test_case "external init" `Quick test_validate_external_init;
+        Alcotest.test_case "duplicate grid" `Quick test_validate_duplicate_grid;
+        Alcotest.test_case "shadowed index" `Quick test_validate_shadowed_index;
+        Alcotest.test_case "call arity" `Quick test_validate_call_arity;
+      ] );
+    ( "ir.scopes",
+      [
+        Alcotest.test_case "integration queries" `Quick test_func_integration_queries;
+        Alcotest.test_case "grid resolution" `Quick test_resolve_grid;
+      ] );
+  ]

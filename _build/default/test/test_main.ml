@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "oglaf"
+    (List.concat
+       [
+         Test_ir.suites;
+         Test_fortran_parser.suites;
+         Test_interp.suites;
+         Test_analysis.suites;
+         Test_codegen.suites;
+         Test_workloads.suites;
+         Test_runtime.suites;
+         Test_perf_integration.suites;
+         Test_cli.suites;
+       ])

@@ -1,0 +1,356 @@
+(* Tests for the performance model (lib/perf) and the integration
+   layer (lib/integration): legacy-code model, checker, splicer. *)
+
+open Glaf_fortran
+open Glaf_ir
+open Glaf_perf
+open Glaf_integration
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- machine model -------------------------------------------------------- *)
+
+let test_thread_speedup_monotone_to_cores () =
+  let m = Machine.i5_2400 in
+  check_bool "1T baseline" true (Machine.thread_speedup m 1 = 1.0);
+  check_bool "monotone to core count" true
+    (Machine.thread_speedup m 2 > 1.0
+    && Machine.thread_speedup m 4 > Machine.thread_speedup m 2);
+  check_bool "oversubscription collapses" true
+    (Machine.thread_speedup m 8 < Machine.thread_speedup m 4);
+  check_bool "never below 0.1" true (Machine.thread_speedup m 64 >= 0.1)
+
+let test_region_overhead_grows () =
+  let m = Machine.i5_2400 in
+  check_bool "more threads, more overhead" true
+    (Machine.region_overhead m 8 > Machine.region_overhead m 2)
+
+(* --- compiler model -------------------------------------------------------- *)
+
+let parse_loop src =
+  match Parser.parse_string src with
+  | [ Ast.Standalone sp ] -> (
+    match Ast.loops sp.Ast.sub_body with
+    | l :: _ -> l
+    | [] -> Alcotest.fail "no loop")
+  | _ -> Alcotest.fail "bad unit"
+
+let test_classify_memset () =
+  let l =
+    parse_loop
+      "subroutine f(n, a)\ninteger :: n\nreal*8 :: a(n)\ninteger :: i\ndo i = 1, n\na(i) = 0.0d0\nend do\nend subroutine f"
+  in
+  check_bool "memset" true (Compiler_model.classify l = Compiler_model.Memset)
+
+let test_classify_vectorized () =
+  let l =
+    parse_loop
+      "subroutine f(n, a, b)\ninteger :: n\nreal*8 :: a(n), b(n)\ninteger :: i\ndo i = 1, n\na(i) = b(i) * 2.0d0 + sqrt(b(i))\nend do\nend subroutine f"
+  in
+  check_bool "simd" true (Compiler_model.classify l = Compiler_model.Vectorized)
+
+let test_classify_unrolled_short () =
+  let l =
+    parse_loop
+      "subroutine f(a)\nreal*8 :: a(4)\ninteger :: i\ndo i = 1, 4\na(i) = i * 1.0d0\nend do\nend subroutine f"
+  in
+  check_bool "unrolled" true
+    (Compiler_model.classify ~trip:(Some 4) l = Compiler_model.Unrolled)
+
+let test_classify_scalar_on_control () =
+  let l =
+    parse_loop
+      "subroutine f(n, a)\ninteger :: n\nreal*8 :: a(n)\ninteger :: i\ndo i = 1, n\nif (a(i) > 0.0d0) then\na(i) = 1.0d0\nend if\nend do\nend subroutine f"
+  in
+  check_bool "scalar" true (Compiler_model.classify l = Compiler_model.Scalar)
+
+(* --- cost model -------------------------------------------------------------- *)
+
+let cost_of ?(threads = 4) src name bindings =
+  let cu = Parser.parse_string src in
+  let cfg = { (Cost.default_config Machine.i5_2400) with Cost.threads; bindings } in
+  Cost.time cfg cu name
+
+let simple_loop_src ~omp =
+  Printf.sprintf
+    {|
+subroutine work(n)
+  integer :: n
+  real*8 :: a(1000)
+  integer :: i
+%s
+  do i = 1, n
+    a(mod(i, 1000) + 1) = i * 2.0d0 + sqrt(i * 1.0d0)
+  end do
+%s
+end subroutine work
+|}
+    (if omp then "!$omp parallel do private(i)" else "")
+    (if omp then "!$omp end parallel do" else "")
+
+let test_cost_scales_with_trip () =
+  let t1 = cost_of (simple_loop_src ~omp:false) "work" [ ("n", 1000) ] in
+  let t2 = cost_of (simple_loop_src ~omp:false) "work" [ ("n", 10000) ] in
+  check_bool "10x trips ~ 10x cost" true (t2 /. t1 > 8.0 && t2 /. t1 < 12.0)
+
+let test_cost_omp_overhead_dominates_small () =
+  (* tiny loop: OMP version must be slower than serial *)
+  let serial = cost_of (simple_loop_src ~omp:false) "work" [ ("n", 50) ] in
+  let omp = cost_of (simple_loop_src ~omp:true) "work" [ ("n", 50) ] in
+  check_bool "overhead dominates" true (omp > 4.0 *. serial)
+
+let test_cost_omp_wins_large () =
+  (* the OMP body runs scalar while the serial loop vectorizes, so the
+     crossover needs enough work per iteration; check a large complex
+     loop (non-vectorizable) instead *)
+  let src ~omp =
+    Printf.sprintf
+      {|
+subroutine work(n)
+  integer :: n
+  real*8 :: a(1000)
+  integer :: i, j
+  real*8 :: s
+%s
+  do i = 1, n
+    s = 0.0d0
+    do j = 1, 100
+      if (a(j) > 0.5d0) then
+        s = s + a(j) * j
+      else
+        s = s - a(j)
+      end if
+    end do
+    a(mod(i, 1000) + 1) = s
+  end do
+%s
+end subroutine work
+|}
+      (if omp then "!$omp parallel do private(i, j, s)" else "")
+      (if omp then "!$omp end parallel do" else "")
+  in
+  let serial = cost_of (src ~omp:false) "work" [ ("n", 100000) ] in
+  let omp = cost_of (src ~omp:true) "work" [ ("n", 100000) ] in
+  check_bool "parallel wins on big complex loops" true (omp < serial /. 2.0)
+
+let test_cost_alloc_guard_amortized () =
+  let src ~guarded =
+    Printf.sprintf
+      {|
+subroutine work(n)
+  integer :: n
+  real*8, allocatable%s :: tmp(:)
+  integer :: i
+%s
+  do i = 1, n
+    tmp(1) = 1.0d0
+  end do
+end subroutine work
+|}
+      (if guarded then ", save" else "")
+      (if guarded then "  if (.not. allocated(tmp)) then\n  allocate(tmp(100))\n  end if"
+       else "  allocate(tmp(100))")
+  in
+  let plain = cost_of (src ~guarded:false) "work" [ ("n", 1) ] in
+  let guarded = cost_of (src ~guarded:true) "work" [ ("n", 1) ] in
+  check_bool "guarded allocation much cheaper" true (guarded < plain /. 5.0)
+
+(* --- legacy model -------------------------------------------------------------- *)
+
+let legacy_src =
+  {|
+module physics
+  implicit none
+  integer, parameter :: nlev = 40
+  real*8 :: temp(40)
+  type :: state_t
+    real*8 :: pressure
+    real*8 :: winds(3)
+  end type state_t
+  type(state_t) :: st
+end module physics
+
+subroutine solver(niter, tol)
+  implicit none
+  integer :: niter
+  real*8 :: tol
+  common /slvblk/ relax, verbose
+  real*8 :: relax
+  integer :: verbose
+  relax = tol
+  verbose = niter
+end subroutine solver
+|}
+
+let test_legacy_model_scan () =
+  let m = Legacy_model.of_source legacy_src in
+  check_bool "module found" true (Legacy_model.find_module m "physics" <> None);
+  (match Legacy_model.find_module_var m ~module_name:"physics" ~var:"temp" with
+  | Some v ->
+    check_int "temp rank" 1 v.Legacy_model.v_rank;
+    check_bool "temp type" true (v.Legacy_model.v_base = Ast.Real8)
+  | None -> Alcotest.fail "temp not found");
+  check_bool "type var resolved" true
+    (Legacy_model.find_type_var m ~module_name:"physics" ~type_var:"st"
+    = Some "state_t");
+  (match
+     Legacy_model.find_type_field m ~module_name:"physics" ~type_name:"state_t"
+       ~field:"winds"
+   with
+  | Some f -> check_int "winds rank" 1 f.Legacy_model.v_rank
+  | None -> Alcotest.fail "winds not found");
+  (match Legacy_model.find_common m "slvblk" with
+  | Some members -> check_int "common members" 2 (List.length members)
+  | None -> Alcotest.fail "common not found");
+  match Legacy_model.find_subprogram m "solver" with
+  | Some s -> check_int "solver arity" 2 s.Legacy_model.s_arity
+  | None -> Alcotest.fail "solver not found"
+
+(* --- checker -------------------------------------------------------------------- *)
+
+let program_with_grid g call =
+  let f =
+    Func.make "kernel" ~grids:[ g ]
+      ~steps:
+        [
+          Func.step "s"
+            (match call with
+            | Some (name, args) -> [ Stmt.Call (name, args) ]
+            | None -> []);
+        ]
+  in
+  Ir_module.program "p" ~modules:[ Ir_module.make "m" ~functions:[ f ] ]
+
+let model = Legacy_model.of_source legacy_src
+
+let test_checker_accepts_valid () =
+  let g =
+    Grid.array ~storage:(Grid.External_module "physics") Types.T_real8
+      ~dims:[ Grid.dim (Grid.Fixed 40) ] "temp"
+  in
+  check_int "ok" 0 (List.length (Checker.check model (program_with_grid g None)))
+
+let test_checker_flags_missing_var () =
+  let g =
+    Grid.scalar ~storage:(Grid.External_module "physics") Types.T_real8 "ghost"
+  in
+  check_bool "flagged" true
+    (Checker.check model (program_with_grid g None) <> [])
+
+let test_checker_flags_rank_mismatch () =
+  let g =
+    Grid.array ~storage:(Grid.External_module "physics") Types.T_real8
+      ~dims:[ Grid.dim (Grid.Fixed 40); Grid.dim (Grid.Fixed 2) ] "temp"
+  in
+  check_bool "flagged" true (Checker.check model (program_with_grid g None) <> [])
+
+let test_checker_flags_type_mismatch () =
+  let g =
+    Grid.array ~storage:(Grid.External_module "physics") Types.T_logical
+      ~dims:[ Grid.dim (Grid.Fixed 40) ] "temp"
+  in
+  check_bool "flagged" true (Checker.check model (program_with_grid g None) <> [])
+
+let test_checker_type_element () =
+  let ok =
+    Grid.scalar ~storage:(Grid.Type_element ("physics", "st")) Types.T_real8
+      "pressure"
+  in
+  check_int "type element ok" 0
+    (List.length (Checker.check model (program_with_grid ok None)));
+  let bad =
+    Grid.scalar ~storage:(Grid.Type_element ("physics", "st")) Types.T_real8
+      "no_such_field"
+  in
+  check_bool "bad element flagged" true
+    (Checker.check model (program_with_grid bad None) <> [])
+
+let test_checker_common_member () =
+  let ok = Grid.scalar ~storage:(Grid.Common "slvblk") Types.T_real8 "relax" in
+  check_int "common ok" 0
+    (List.length (Checker.check model (program_with_grid ok None)));
+  let bad = Grid.scalar ~storage:(Grid.Common "slvblk") Types.T_real8 "missing" in
+  check_bool "bad member flagged" true
+    (Checker.check model (program_with_grid bad None) <> []);
+  (* a brand-new COMMON block introduced by GLAF is fine *)
+  let fresh = Grid.scalar ~storage:(Grid.Common "newblk") Types.T_real8 "x" in
+  check_int "fresh block ok" 0
+    (List.length (Checker.check model (program_with_grid fresh None)))
+
+let test_checker_legacy_call_arity () =
+  let g = Grid.scalar Types.T_real8 "x" in
+  let ok =
+    program_with_grid g (Some ("solver", [ Expr.int 3; Expr.var "x" ]))
+  in
+  check_int "call ok" 0 (List.length (Checker.check model ok));
+  let bad = program_with_grid g (Some ("solver", [ Expr.int 3 ])) in
+  check_bool "arity flagged" true (Checker.check model bad <> [])
+
+(* --- splice ------------------------------------------------------------------------ *)
+
+let test_splice_substitute () =
+  let legacy = Parser.parse_string legacy_src in
+  let generated =
+    Parser.parse_string
+      {|
+module gen_mod
+  implicit none
+contains
+  subroutine solver(niter, tol)
+    integer :: niter
+    real*8 :: tol
+  end subroutine solver
+  subroutine helper()
+  end subroutine helper
+end module gen_mod
+|}
+  in
+  let cu, substituted = Splice.substitute ~legacy ~generated in
+  Alcotest.(check (list string)) "substituted" [ "solver" ] substituted;
+  (* the standalone legacy solver is gone; the generated module leads *)
+  check_bool "legacy solver removed" true
+    (not
+       (List.exists
+          (function Ast.Standalone sp -> sp.Ast.sub_name = "solver" | _ -> false)
+          cu));
+  check_bool "generated module present" true (Ast.find_module cu "gen_mod" <> None);
+  check_bool "helper available" true (Ast.find_subprogram cu "helper" <> None);
+  check_bool "legacy module intact" true (Ast.find_module cu "physics" <> None)
+
+let suites =
+  [
+    ( "perf.machine",
+      [
+        Alcotest.test_case "thread speedup" `Quick test_thread_speedup_monotone_to_cores;
+        Alcotest.test_case "region overhead" `Quick test_region_overhead_grows;
+      ] );
+    ( "perf.compiler",
+      [
+        Alcotest.test_case "memset" `Quick test_classify_memset;
+        Alcotest.test_case "vectorized" `Quick test_classify_vectorized;
+        Alcotest.test_case "unrolled" `Quick test_classify_unrolled_short;
+        Alcotest.test_case "scalar on control" `Quick test_classify_scalar_on_control;
+      ] );
+    ( "perf.cost",
+      [
+        Alcotest.test_case "scales with trip" `Quick test_cost_scales_with_trip;
+        Alcotest.test_case "overhead on small loops" `Quick test_cost_omp_overhead_dominates_small;
+        Alcotest.test_case "parallel wins large" `Quick test_cost_omp_wins_large;
+        Alcotest.test_case "alloc guard amortized" `Quick test_cost_alloc_guard_amortized;
+      ] );
+    ( "integration.model",
+      [ Alcotest.test_case "legacy scan" `Quick test_legacy_model_scan ] );
+    ( "integration.checker",
+      [
+        Alcotest.test_case "accepts valid" `Quick test_checker_accepts_valid;
+        Alcotest.test_case "missing var" `Quick test_checker_flags_missing_var;
+        Alcotest.test_case "rank mismatch" `Quick test_checker_flags_rank_mismatch;
+        Alcotest.test_case "type mismatch" `Quick test_checker_flags_type_mismatch;
+        Alcotest.test_case "type element" `Quick test_checker_type_element;
+        Alcotest.test_case "common member" `Quick test_checker_common_member;
+        Alcotest.test_case "legacy call arity" `Quick test_checker_legacy_call_arity;
+      ] );
+    ( "integration.splice",
+      [ Alcotest.test_case "substitute" `Quick test_splice_substitute ] );
+  ]

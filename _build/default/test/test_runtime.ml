@@ -1,0 +1,260 @@
+(* Unit and property tests for the runtime substrate: values, Fortran
+   arrays, intrinsics and the domain-based OpenMP-like runtime. *)
+
+open Glaf_runtime
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_float msg expected actual =
+  Alcotest.(check (float 1e-12)) msg expected actual
+
+(* --- Value -------------------------------------------------------------- *)
+
+let test_value_arith () =
+  check_bool "int add" true (Value.add (Value.Int 2) (Value.Int 3) = Value.Int 5);
+  check_bool "mixed add is real" true
+    (Value.add (Value.Int 2) (Value.Real 0.5) = Value.Real 2.5);
+  check_bool "int division truncates" true
+    (Value.div (Value.Int 7) (Value.Int 2) = Value.Int 3);
+  check_bool "int pow" true (Value.pow (Value.Int 2) (Value.Int 10) = Value.Int 1024);
+  check_bool "real pow" true
+    (Value.pow (Value.Real 2.0) (Value.Int (-1)) = Value.Real 0.5);
+  check_bool "neg" true (Value.neg (Value.Int 4) = Value.Int (-4))
+
+let test_value_compare () =
+  check_bool "int lt real" true (Value.lt (Value.Int 1) (Value.Real 1.5));
+  check_bool "eq across kinds" true (Value.eq (Value.Int 2) (Value.Real 2.0));
+  check_bool "string eq" true (Value.eq (Value.Str "a") (Value.Str "a"));
+  check_bool "approx" true
+    (Value.approx_eq ~tol:1e-6 (Value.Real 1.0) (Value.Real (1.0 +. 1e-8)))
+
+let test_value_errors () =
+  check_bool "div by zero raises" true
+    (match Value.div (Value.Int 1) (Value.Int 0) with
+    | exception Value.Runtime_error _ -> true
+    | _ -> false);
+  check_bool "bool arith raises" true
+    (match Value.add (Value.Bool true) (Value.Int 1) with
+    | exception Value.Runtime_error _ -> true
+    | _ -> false)
+
+let test_value_coerce () =
+  let open Glaf_fortran.Ast in
+  check_bool "real to int" true (Value.coerce Integer (Value.Real 3.9) = Value.Int 3);
+  check_bool "int to real" true (Value.coerce Real8 (Value.Int 3) = Value.Real 3.0);
+  check_bool "bad coerce raises" true
+    (match Value.coerce Logical (Value.Int 1) with
+    | exception Value.Runtime_error _ -> true
+    | _ -> false)
+
+(* --- Farray ------------------------------------------------------------- *)
+
+let test_farray_column_major () =
+  let a = Farray.create Farray.Efloat [| (1, 3); (1, 2) |] in
+  (* column-major: (1,1) (2,1) (3,1) (1,2) (2,2) (3,2) *)
+  Farray.set a [| 2; 1 |] (Farray.Cf 21.0);
+  Farray.set a [| 1; 2 |] (Farray.Cf 12.0);
+  check_float "linear 1" 21.0
+    (match Farray.get_linear a 1 with Farray.Cf x -> x | _ -> nan);
+  check_float "linear 3" 12.0
+    (match Farray.get_linear a 3 with Farray.Cf x -> x | _ -> nan)
+
+let test_farray_bounds () =
+  let a = Farray.create Farray.Efloat [| (0, 4) |] in
+  Farray.set_float a [| 0 |] 7.0;
+  check_float "lower bound 0" 7.0 (Farray.get_float a [| 0 |]);
+  check_bool "oob raises" true
+    (match Farray.get a [| 5 |] with
+    | exception Farray.Bounds_error _ -> true
+    | _ -> false);
+  check_bool "rank mismatch raises" true
+    (match Farray.get a [| 1; 1 |] with
+    | exception Farray.Bounds_error _ -> true
+    | _ -> false)
+
+let test_farray_ops () =
+  let a = Farray.of_float_list [ 3.0; 4.0 ] in
+  check_float "rms" 3.5355339059327378 (Farray.rms a);
+  let b = Farray.of_float_list [ 3.0; 4.5 ] in
+  check_float "max abs diff" 0.5 (Farray.max_abs_diff a b);
+  let s = Farray.slice1 (Farray.of_float_list [ 1.; 2.; 3.; 4. ]) 2 3 in
+  check_int "slice size" 2 (Farray.size s);
+  check_float "slice content" 2.0 (Farray.get_float s [| 1 |]);
+  let c = Farray.copy a in
+  Farray.set_float c [| 1 |] 99.0;
+  check_float "copy is deep" 3.0 (Farray.get_float a [| 1 |])
+
+let prop_farray_roundtrip =
+  QCheck.Test.make ~name:"farray set/get roundtrip" ~count:100
+    QCheck.(pair (int_range 1 20) (int_range 1 20))
+    (fun (n, m) ->
+      let a = Farray.create Farray.Efloat [| (1, n); (1, m) |] in
+      let v i j = float_of_int ((i * 31) + j) in
+      for i = 1 to n do
+        for j = 1 to m do
+          Farray.set_float a [| i; j |] (v i j)
+        done
+      done;
+      let ok = ref true in
+      for i = 1 to n do
+        for j = 1 to m do
+          if Farray.get_float a [| i; j |] <> v i j then ok := false
+        done
+      done;
+      !ok && Farray.size a = n * m)
+
+(* --- Intrinsics ---------------------------------------------------------- *)
+
+let apply name args =
+  match Intrinsics.apply name args with
+  | Some v -> v
+  | None -> Alcotest.failf "%s is not an intrinsic" name
+
+let test_intrinsics_numeric () =
+  check_bool "abs int" true (apply "abs" [ Value.Int (-3) ] = Value.Int 3);
+  check_float "alog" 1.0 (Value.to_float (apply "alog" [ Value.Real (exp 1.0) ]));
+  check_float "sign" (-2.5) (Value.to_float (apply "sign" [ Value.Real 2.5; Value.Real (-1.0) ]));
+  check_bool "mod int" true (apply "mod" [ Value.Int 7; Value.Int 3 ] = Value.Int 1);
+  check_float "atan2" (Float.pi /. 4.0)
+    (Value.to_float (apply "atan2" [ Value.Real 1.0; Value.Real 1.0 ]));
+  check_bool "nint rounds" true (apply "nint" [ Value.Real 2.6 ] = Value.Int 3);
+  check_bool "floor" true (apply "floor" [ Value.Real (-0.5) ] = Value.Int (-1))
+
+let test_intrinsics_minmax () =
+  check_bool "max of ints stays int" true
+    (apply "max" [ Value.Int 1; Value.Int 5; Value.Int 3 ] = Value.Int 5);
+  check_float "min mixed" 0.5
+    (Value.to_float (apply "min" [ Value.Int 1; Value.Real 0.5 ]));
+  check_float "dmax1" 2.0 (Value.to_float (apply "dmax1" [ Value.Real 2.0; Value.Real 1.0 ]))
+
+let test_intrinsics_arrays () =
+  let arr = Value.Arr (Farray.of_float_list [ 1.0; 2.0; 3.0 ]) in
+  check_float "sum" 6.0 (Value.to_float (apply "sum" [ arr ]));
+  check_float "product" 6.0 (Value.to_float (apply "product" [ arr ]));
+  check_float "minval" 1.0 (Value.to_float (apply "minval" [ arr ]));
+  check_float "maxval" 3.0 (Value.to_float (apply "maxval" [ arr ]));
+  check_bool "size" true (apply "size" [ arr ] = Value.Int 3);
+  let brr = Value.Arr (Farray.of_float_list [ 4.0; 5.0; 6.0 ]) in
+  check_float "dot_product" 32.0 (Value.to_float (apply "dot_product" [ arr; brr ]))
+
+let test_intrinsics_unknown () =
+  check_bool "unknown name" true (Intrinsics.apply "frobnicate" [] = None);
+  check_bool "case-insensitive" true (Intrinsics.apply "ABS" [ Value.Int (-1) ] <> None)
+
+(* --- Omp ------------------------------------------------------------------ *)
+
+let test_static_chunks () =
+  let chunks = Omp.static_chunks ~lo:1 ~hi:10 4 in
+  check_int "4 chunks" 4 (Array.length chunks);
+  (* coverage: union of chunks is exactly 1..10, disjoint and ordered *)
+  let covered = Array.to_list chunks |> List.concat_map (fun (a, b) ->
+      List.init (max 0 (b - a + 1)) (fun i -> a + i)) in
+  Alcotest.(check (list int)) "cover 1..10" (List.init 10 (fun i -> i + 1)) covered;
+  (* empty iteration space *)
+  let empty = Omp.static_chunks ~lo:5 ~hi:4 3 in
+  check_bool "empty chunks" true
+    (Array.for_all (fun (a, b) -> b < a) empty)
+
+let test_parallel_for_sums () =
+  let n = 1000 in
+  let acc = Array.make 8 0 in
+  Omp.parallel_for ~threads:4 ~lo:1 ~hi:n (fun t lo hi ->
+      let s = ref 0 in
+      for i = lo to hi do
+        s := !s + i
+      done;
+      acc.(t) <- !s);
+  check_int "total" (n * (n + 1) / 2) (Array.fold_left ( + ) 0 acc)
+
+let test_parallel_for_collect_order () =
+  let results =
+    Omp.parallel_for_collect ~threads:3 ~lo:1 ~hi:9 (fun t lo hi -> (t, lo, hi))
+  in
+  check_int "three results" 3 (List.length results);
+  check_bool "thread order" true
+    (List.mapi (fun i (t, _, _) -> i = t) results |> List.for_all Fun.id)
+
+let test_parallel_exception_propagates () =
+  check_bool "exception surfaces" true
+    (match
+       Omp.parallel_for ~threads:3 ~lo:1 ~hi:10 (fun _ lo _ ->
+           if lo > 1 then failwith "boom")
+     with
+    | exception Failure _ -> true
+    | () -> false)
+
+let test_critical_mutual_exclusion () =
+  let counter = ref 0 in
+  Omp.parallel_for ~threads:4 ~lo:1 ~hi:400 (fun _ lo hi ->
+      for _ = lo to hi do
+        Omp.critical (fun () -> incr counter)
+      done);
+  check_int "no lost updates" 400 !counter
+
+(* --- Zones ----------------------------------------------------------------- *)
+
+let test_zone_sizes_cosine () =
+  let zones = Zones.latitude_zones ~zones:18 ~total_cells:10000 in
+  check_int "18 zones" 18 (List.length zones);
+  let equatorial = List.nth zones 8 and polar = List.nth zones 0 in
+  check_bool "equator larger than pole" true (equatorial.Zones.size > 3 * polar.Zones.size);
+  let total = List.fold_left (fun a z -> a + z.Zones.size) 0 zones in
+  check_bool "total approximately preserved" true
+    (abs (total - 10000) < 10000 / 10)
+
+let test_zone_lpt_beats_static () =
+  let zones = Zones.latitude_zones ~zones:24 ~total_cells:9600 in
+  let cost z = float_of_int z.Zones.size in
+  let static = Zones.makespan (Zones.schedule_static zones ~workers:4) ~cost in
+  let lpt = Zones.makespan (Zones.schedule_lpt zones ~workers:4) ~cost in
+  let bound = Zones.total_work zones ~cost /. 4.0 in
+  check_bool "lpt no worse than static" true (lpt <= static +. 1e-9);
+  check_bool "lpt near the balance bound" true (lpt < 1.2 *. bound)
+
+let test_zone_run_executes_all () =
+  let zones = Zones.latitude_zones ~zones:12 ~total_cells:1200 in
+  let seen = Array.make 13 0 in
+  Zones.run (Zones.schedule_lpt zones ~workers:3) ~f:(fun z ->
+      Omp.critical (fun () -> seen.(z.Zones.zone_id) <- seen.(z.Zones.zone_id) + 1));
+  check_bool "every zone ran exactly once" true
+    (Array.for_all (fun c -> c = 1) (Array.sub seen 1 12))
+
+let suites =
+  [
+    ( "runtime.value",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_value_arith;
+        Alcotest.test_case "comparison" `Quick test_value_compare;
+        Alcotest.test_case "errors" `Quick test_value_errors;
+        Alcotest.test_case "coercion" `Quick test_value_coerce;
+      ] );
+    ( "runtime.farray",
+      [
+        Alcotest.test_case "column major" `Quick test_farray_column_major;
+        Alcotest.test_case "bounds" `Quick test_farray_bounds;
+        Alcotest.test_case "ops" `Quick test_farray_ops;
+        QCheck_alcotest.to_alcotest prop_farray_roundtrip;
+      ] );
+    ( "runtime.intrinsics",
+      [
+        Alcotest.test_case "numeric" `Quick test_intrinsics_numeric;
+        Alcotest.test_case "min/max" `Quick test_intrinsics_minmax;
+        Alcotest.test_case "arrays" `Quick test_intrinsics_arrays;
+        Alcotest.test_case "unknown" `Quick test_intrinsics_unknown;
+      ] );
+    ( "runtime.omp",
+      [
+        Alcotest.test_case "static chunks" `Quick test_static_chunks;
+        Alcotest.test_case "parallel sums" `Quick test_parallel_for_sums;
+        Alcotest.test_case "collect order" `Quick test_parallel_for_collect_order;
+        Alcotest.test_case "exception propagation" `Quick test_parallel_exception_propagates;
+        Alcotest.test_case "critical exclusion" `Quick test_critical_mutual_exclusion;
+      ] );
+    ( "runtime.zones",
+      [
+        Alcotest.test_case "cosine sizes" `Quick test_zone_sizes_cosine;
+        Alcotest.test_case "lpt vs static" `Quick test_zone_lpt_beats_static;
+        Alcotest.test_case "run executes all" `Quick test_zone_run_executes_all;
+      ] );
+  ]

@@ -1,0 +1,207 @@
+(* Integration tests for the two case-study workloads: the full
+   pipelines of the paper's §4 (build via GLAF, analyze, generate,
+   integrate into legacy code, execute, verify side by side). *)
+
+open Glaf_ir
+open Glaf_fortran
+open Glaf_analysis
+open Glaf_optimizer
+open Glaf_workloads
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- SARB --------------------------------------------------------------- *)
+
+let test_sarb_legacy_parses_and_runs () =
+  let r = Sarb.run ~threads:1 Sarb.Original_serial in
+  check_bool "finite checksum" true (Float.is_finite r.Sarb.checksum);
+  check_bool "nonzero checksum" true (Float.abs r.Sarb.checksum > 1.0)
+
+let test_sarb_glaf_program_valid () =
+  let p = Sarb_glaf.program () in
+  Alcotest.(check (list string))
+    "no validation errors" []
+    (List.map Validate.error_to_string (Validate.program p))
+
+let test_sarb_integration_compatible () =
+  check_int "no integration issues" 0 (List.length (Sarb.integration_issues ()))
+
+let test_sarb_autopar_findings () =
+  let _, report = Sarb.annotated_program () in
+  (* the two large exchange loops are found parallel, collapsible and
+     complex — exactly the loops that keep directives at v3 *)
+  let complex_parallel =
+    List.filter
+      (fun e ->
+        e.Autopar.re_info.Loop_info.parallel
+        && e.Autopar.re_info.Loop_info.classification = Loop_info.Complex
+        && e.Autopar.re_info.Loop_info.collapsible)
+      report
+  in
+  check_int "two complex collapsible loops" 2 (List.length complex_parallel);
+  check_bool "both in longwave" true
+    (List.for_all
+       (fun e -> e.Autopar.re_function = "longwave_entropy_model")
+       complex_parallel);
+  (* the transmission recurrences stay serial *)
+  let serial =
+    List.filter (fun e -> not e.Autopar.re_info.Loop_info.parallel) report
+  in
+  check_bool "recurrences detected" true (List.length serial >= 3)
+
+let test_sarb_generated_code_features () =
+  let src = Pp_ast.to_string (Sarb.generated_cu (Sarb.Glaf_parallel Directive_policy.V3)) in
+  check_bool "collapse(2) on exchange" true (contains src "collapse(2)");
+  check_bool "use fuinput" true (contains src "use fuinput");
+  check_bool "common block" true (contains src "common /entcon/");
+  check_bool "type element" true (contains src "fo%fuir");
+  check_bool "module-scope shared arrays" true (contains src "real*8 :: flux2(2, 60)")
+
+let test_sarb_v3_directive_count () =
+  let p, _ = Sarb.annotated_program () in
+  let v3 = Directive_policy.apply ~pure:Sarb.pure Directive_policy.V3 p in
+  (* exactly the two large exchange loops keep directives *)
+  check_int "v3 keeps two directives" 2 (Directive_policy.directive_count v3)
+
+let test_sarb_verify_all_variants () =
+  List.iter
+    (fun (v, diff) ->
+      check_bool
+        (Printf.sprintf "%s equivalent (diff %.3e)" (Sarb.variant_name v) diff)
+        true (diff < 1e-9))
+    (Sarb.verify ~threads:2 ())
+
+let test_sarb_figure5_shape () =
+  let fig5 = Sarb.figure5 () in
+  let get n = List.assoc n fig5 in
+  check_bool "original is 1.0" true (Float.abs (get "original serial" -. 1.0) < 1e-9);
+  check_bool "GLAF serial slightly slower" true
+    (get "GLAF serial" < 1.0 && get "GLAF serial" > 0.7);
+  check_bool "v0 well below serial" true (get "GLAF-parallel v0" < 0.7);
+  check_bool "v0 < v1" true (get "GLAF-parallel v0" < get "GLAF-parallel v1");
+  check_bool "v1 below serial" true (get "GLAF-parallel v1" < 1.0);
+  check_bool "v2 above serial" true (get "GLAF-parallel v2" > 1.0);
+  check_bool "v3 best" true
+    (get "GLAF-parallel v3" >= get "GLAF-parallel v2"
+    && get "GLAF-parallel v3" > 1.2)
+
+let test_sarb_figure6_shape () =
+  let fig6 = Sarb.figure6 () in
+  let get t = List.assoc t fig6 in
+  check_bool "1T slightly below serial" true (get 1 < 1.05);
+  check_bool "2T gains" true (get 2 > get 1);
+  check_bool "4T peak" true (get 4 > get 2);
+  check_bool "8T collapses (oversubscription)" true (get 8 < get 4 && get 8 < 1.0)
+
+let test_sarb_table1 () =
+  List.iter
+    (fun (name, paper, ours) ->
+      check_bool (name ^ " has sloc") true (ours > 0 && paper > 0))
+    (Sarb.table1 ())
+
+(* --- FUN3D --------------------------------------------------------------- *)
+
+let test_fun3d_glaf_program_valid () =
+  let p = Fun3d_glaf.program ~opts:Fun3d_glaf.best_options in
+  Alcotest.(check (list string))
+    "no validation errors" []
+    (List.map Validate.error_to_string (Validate.program p))
+
+let test_fun3d_integration_compatible () =
+  check_int "no integration issues" 0 (List.length (Fun3d.integration_issues ()))
+
+let test_fun3d_verify_key_variants () =
+  (* full matrix is exercised by the bench; here the key ones, small *)
+  let ncell = 120 in
+  let reference = Fun3d.run ~threads:1 ~ncell Fun3d.Original_serial in
+  List.iter
+    (fun v ->
+      let r = Fun3d.run ~threads:2 ~ncell v in
+      check_bool
+        (Printf.sprintf "%s rms within 1e-7" (Fun3d.variant_name v))
+        true
+        (Float.abs (r.Fun3d.rms -. reference.Fun3d.rms) < 1e-7))
+    [
+      Fun3d.Manual_parallel;
+      Fun3d.Glaf Fun3d_glaf.serial_options;
+      Fun3d.Glaf Fun3d_glaf.best_options;
+      Fun3d.Glaf { Fun3d_glaf.serial_options with Fun3d_glaf.par_cell = true };
+    ]
+
+let test_fun3d_realloc_counting () =
+  let ncell = 120 in
+  let with_realloc =
+    Fun3d.run ~threads:1 ~ncell (Fun3d.Glaf Fun3d_glaf.serial_options)
+  in
+  let without =
+    Fun3d.run ~threads:1 ~ncell
+      (Fun3d.Glaf { Fun3d_glaf.serial_options with Fun3d_glaf.no_realloc = true })
+  in
+  check_bool "reallocation dominates without SAVE" true
+    (with_realloc.Fun3d.allocations > 50 * without.Fun3d.allocations);
+  check_bool "SAVE leaves only first-call allocations" true
+    (without.Fun3d.allocations < 60)
+
+let test_fun3d_temp_counts () =
+  let counts = Fun3d_glaf.dynamic_temp_counts () in
+  check_int "edge_loop temps" 10 (List.assoc "edge_loop" counts);
+  check_int "cell_loop temps" 2 (List.assoc "cell_loop" counts)
+
+let test_fun3d_figure7_shape () =
+  let fig7 = Fun3d.figure7 ~ncell:200_000 () in
+  let get n = List.assoc n fig7 in
+  let best = get "GLAF EdgeJP+NoRealloc" in
+  let manual = get "manual parallel" in
+  check_bool "manual fastest" true
+    (List.for_all (fun (_, s) -> s <= manual) fig7);
+  check_bool "best GLAF above serial" true (best > 1.0);
+  check_bool "manual ~2-3x best GLAF" true
+    (manual /. best > 1.5 && manual /. best < 4.0);
+  check_bool "EdgeJP without no-realloc below serial" true
+    (get "GLAF EdgeJP" < 1.0);
+  check_bool "fine-grained options far below serial" true
+    (get "GLAF Cell" < 0.2 && get "GLAF Edge" < 0.5);
+  check_bool "no-realloc improves fine-grained" true
+    (get "GLAF Edge+NoRealloc" > get "GLAF Edge"
+    && get "GLAF Cell+NoRealloc" > get "GLAF Cell")
+
+let test_fun3d_generated_code () =
+  let src = Pp_ast.to_string (Fun3d.generated_cu Fun3d_glaf.best_options) in
+  check_bool "allocatable+save temps" true (contains src ", allocatable, save :: fl(:)");
+  check_bool "guarded allocation" true (contains src "if (.not. allocated(fl))");
+  check_bool "atomic scatter" true (contains src "!$omp atomic");
+  check_bool "parallel cells loop" true (contains src "!$omp parallel do");
+  check_bool "use mesh module" true (contains src "use mesh_mod")
+
+let suites =
+  [
+    ( "workloads.sarb",
+      [
+        Alcotest.test_case "legacy runs" `Quick test_sarb_legacy_parses_and_runs;
+        Alcotest.test_case "GLAF program valid" `Quick test_sarb_glaf_program_valid;
+        Alcotest.test_case "integration compatible" `Quick test_sarb_integration_compatible;
+        Alcotest.test_case "autopar findings" `Quick test_sarb_autopar_findings;
+        Alcotest.test_case "generated features" `Quick test_sarb_generated_code_features;
+        Alcotest.test_case "v3 directive count" `Quick test_sarb_v3_directive_count;
+        Alcotest.test_case "verify all variants" `Slow test_sarb_verify_all_variants;
+        Alcotest.test_case "figure 5 shape" `Quick test_sarb_figure5_shape;
+        Alcotest.test_case "figure 6 shape" `Quick test_sarb_figure6_shape;
+        Alcotest.test_case "table 1" `Quick test_sarb_table1;
+      ] );
+    ( "workloads.fun3d",
+      [
+        Alcotest.test_case "GLAF program valid" `Quick test_fun3d_glaf_program_valid;
+        Alcotest.test_case "integration compatible" `Quick test_fun3d_integration_compatible;
+        Alcotest.test_case "verify key variants" `Slow test_fun3d_verify_key_variants;
+        Alcotest.test_case "realloc counting" `Quick test_fun3d_realloc_counting;
+        Alcotest.test_case "temp counts" `Quick test_fun3d_temp_counts;
+        Alcotest.test_case "figure 7 shape" `Quick test_fun3d_figure7_shape;
+        Alcotest.test_case "generated code" `Quick test_fun3d_generated_code;
+      ] );
+  ]
