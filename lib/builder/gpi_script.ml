@@ -1,0 +1,745 @@
+(** The GPI action-script front-end.
+
+    A [.gpi] script is a line-oriented, textual replay of the GUI
+    interaction sequence of the paper's Figs. 2–4: each line is one
+    action (create a program/module/function, declare a grid —
+    possibly living in an existing module, TYPE variable or COMMON
+    block — open a step, set a formula, open an index range).  The
+    grammar, one action per line:
+
+    {v
+    program <name>
+    globalgrid <name> <type> [clauses]
+    module <name>
+    modulegrid <name> <type> [clauses]
+    function <name> returns <type|void>
+      param <name> <type> [dims(<extent>,...)]
+      grid <name> <type> [clauses]
+      step <label>
+        set <grid>[(<indices>)] = <expr>
+        foreach <index> = <lo>, <hi> [, <step>]  ... end foreach
+        while <cond>                             ... end while
+        if <cond> / elseif <cond> / else         ... end if
+        call <name>[(<args>)]
+        return [<expr>]
+        exit | cycle
+    end program
+    v}
+
+    Grid clauses: [dims(e1,...)] ([Fixed] for integers, [Sym] for
+    identifiers), [save], [allocatable], [init <number>|zero],
+    [usemodule <m>] (§3.1), [usemodule <m> typevar <v>] (§3.5),
+    [common <b>] (§3.2).  Types: [integer], [real], [real8],
+    [logical], [string]; a [void] return makes a SUBROUTINE (§3.4).
+    Lines starting with [!] or [#] are comments.
+
+    Every error carries the 1-based line number of the offending
+    action. *)
+
+open Glaf_ir
+
+exception Script_error of int * string
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Script_error (line, s))) fmt
+
+(* --- tokens ------------------------------------------------------------ *)
+
+type token =
+  | Tid of string
+  | Tint of int
+  | Treal of float
+  | Top of string
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize ln s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if is_id_start c then begin
+      let j = ref !i in
+      while !j < n && is_id_char s.[!j] do
+        incr j
+      done;
+      toks := Tid (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else if is_digit c then begin
+      (* integer or real literal: digits [. digits] [eEdD [+-] digits] *)
+      let j = ref !i in
+      let real = ref false in
+      while !j < n && is_digit s.[!j] do
+        incr j
+      done;
+      if !j < n && s.[!j] = '.' then begin
+        real := true;
+        incr j;
+        while !j < n && is_digit s.[!j] do
+          incr j
+        done
+      end;
+      if !j < n && (s.[!j] = 'e' || s.[!j] = 'E' || s.[!j] = 'd' || s.[!j] = 'D')
+      then begin
+        let k = ref (!j + 1) in
+        if !k < n && (s.[!k] = '+' || s.[!k] = '-') then incr k;
+        if !k < n && is_digit s.[!k] then begin
+          real := true;
+          j := !k;
+          while !j < n && is_digit s.[!j] do
+            incr j
+          done
+        end
+      end;
+      let text = String.sub s !i (!j - !i) in
+      let tok =
+        if !real then
+          Treal (float_of_string (String.map (function 'd' | 'D' -> 'e' | c -> c) text))
+        else
+          match int_of_string_opt text with
+          | Some v -> Tint v
+          | None -> Treal (float_of_string text)
+      in
+      toks := tok :: !toks;
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "**" | "==" | "/=" | "<=" | ">=" ->
+        toks := Top two :: !toks;
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '+' | '-' | '*' | '/' | '(' | ')' | ',' | '<' | '>' | '=' | '%' ->
+          toks := Top (String.make 1 c) :: !toks;
+          incr i
+        | _ -> fail ln "unexpected character %C" c)
+    end
+  done;
+  Array.of_list (List.rev !toks)
+
+let token_text = function
+  | Tid s -> s
+  | Tint n -> string_of_int n
+  | Treal x -> Printf.sprintf "%g" x
+  | Top o -> o
+
+(* --- expression parser -------------------------------------------------- *)
+
+(* [lookup] resolves grid names visible at the current script position
+   (current function, then module grids, then globals); it decides
+   whether [name(...)] is an array reference or a function call, and
+   lets us reject subscripts on scalars with a line number. *)
+type pstate = {
+  toks : token array;
+  mutable pos : int;
+  line : int;
+  lookup : string -> Grid.t option;
+}
+
+let peek ps = if ps.pos < Array.length ps.toks then Some ps.toks.(ps.pos) else None
+
+let advance ps = ps.pos <- ps.pos + 1
+
+let expect_op ps op =
+  match peek ps with
+  | Some (Top o) when o = op -> advance ps
+  | Some t -> fail ps.line "expected %S but found %S" op (token_text t)
+  | None -> fail ps.line "expected %S but the line ended" op
+
+let expect_ident ps what =
+  match peek ps with
+  | Some (Tid name) ->
+    advance ps;
+    name
+  | Some t -> fail ps.line "expected %s but found %S" what (token_text t)
+  | None -> fail ps.line "expected %s but the line ended" what
+
+let rec parse_expr ps = parse_or ps
+
+and parse_or ps =
+  let lhs = ref (parse_and ps) in
+  let rec go () =
+    match peek ps with
+    | Some (Tid "or") ->
+      advance ps;
+      lhs := Expr.Binop (Expr.Or, !lhs, parse_and ps);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_and ps =
+  let lhs = ref (parse_cmp ps) in
+  let rec go () =
+    match peek ps with
+    | Some (Tid "and") ->
+      advance ps;
+      lhs := Expr.Binop (Expr.And, !lhs, parse_cmp ps);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_cmp ps =
+  let lhs = parse_add ps in
+  let op =
+    match peek ps with
+    | Some (Top "==") | Some (Top "=") -> Some Expr.Eq
+    | Some (Top "/=") -> Some Expr.Ne
+    | Some (Top "<") -> Some Expr.Lt
+    | Some (Top "<=") -> Some Expr.Le
+    | Some (Top ">") -> Some Expr.Gt
+    | Some (Top ">=") -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance ps;
+    Expr.Binop (op, lhs, parse_add ps)
+
+and parse_add ps =
+  let lhs = ref (parse_mul ps) in
+  let rec go () =
+    match peek ps with
+    | Some (Top "+") ->
+      advance ps;
+      lhs := Expr.Binop (Expr.Add, !lhs, parse_mul ps);
+      go ()
+    | Some (Top "-") ->
+      advance ps;
+      lhs := Expr.Binop (Expr.Sub, !lhs, parse_mul ps);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_mul ps =
+  let lhs = ref (parse_unary ps) in
+  let rec go () =
+    match peek ps with
+    | Some (Top "*") ->
+      advance ps;
+      lhs := Expr.Binop (Expr.Mul, !lhs, parse_unary ps);
+      go ()
+    | Some (Top "/") ->
+      advance ps;
+      lhs := Expr.Binop (Expr.Div, !lhs, parse_unary ps);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary ps =
+  match peek ps with
+  | Some (Top "-") ->
+    advance ps;
+    Expr.Unop (Expr.Neg, parse_unary ps)
+  | Some (Tid "not") ->
+    advance ps;
+    Expr.Unop (Expr.Not, parse_unary ps)
+  | _ -> parse_power ps
+
+and parse_power ps =
+  let base = parse_atom ps in
+  match peek ps with
+  | Some (Top "**") ->
+    advance ps;
+    (* right-associative, per Fortran *)
+    Expr.Binop (Expr.Pow, base, parse_unary ps)
+  | _ -> base
+
+and parse_args ps =
+  expect_op ps "(";
+  match peek ps with
+  | Some (Top ")") ->
+    advance ps;
+    []
+  | _ ->
+    let args = ref [ parse_expr ps ] in
+    let rec go () =
+      match peek ps with
+      | Some (Top ",") ->
+        advance ps;
+        args := parse_expr ps :: !args;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    expect_op ps ")";
+    List.rev !args
+
+and parse_atom ps =
+  match peek ps with
+  | Some (Tint n) ->
+    advance ps;
+    Expr.Int_lit n
+  | Some (Treal x) ->
+    advance ps;
+    Expr.Real_lit x
+  | Some (Tid "true") ->
+    advance ps;
+    Expr.Bool_lit true
+  | Some (Tid "false") ->
+    advance ps;
+    Expr.Bool_lit false
+  | Some (Tid name) -> (
+    advance ps;
+    match peek ps with
+    | Some (Top "%") ->
+      advance ps;
+      let field = expect_ident ps "a field name" in
+      let indices =
+        match peek ps with
+        | Some (Top "(") -> parse_args ps
+        | _ -> []
+      in
+      Expr.fld name field indices
+    | Some (Top "(") -> (
+      let args = parse_args ps in
+      match ps.lookup name with
+      | Some g ->
+        if Grid.is_scalar g && args <> [] then
+          fail ps.line
+            "grid %S is a scalar (declared without dims) and takes no \
+             subscripts"
+            name;
+        Expr.idx name args
+      | None -> Expr.call name args)
+    | _ -> Expr.var name)
+  | Some (Top "(") ->
+    advance ps;
+    let e = parse_expr ps in
+    expect_op ps ")";
+    e
+  | Some t -> fail ps.line "expected an expression but found %S" (token_text t)
+  | None -> fail ps.line "expected an expression but the line ended"
+
+let parse_whole_expr ps =
+  let e = parse_expr ps in
+  (match peek ps with
+  | Some t -> fail ps.line "trailing %S after expression" (token_text t)
+  | None -> ());
+  e
+
+(* --- grid declarations -------------------------------------------------- *)
+
+let elem_type ln = function
+  | "integer" -> Types.T_int
+  | "real" -> Types.T_real
+  | "real8" | "double" -> Types.T_real8
+  | "logical" -> Types.T_logical
+  | "string" -> Types.T_string
+  | other -> fail ln "unknown element type %S" other
+
+let parse_dims ps =
+  expect_op ps "(";
+  let dims = ref [] in
+  let rec go () =
+    match peek ps with
+    | Some (Tint n) ->
+      advance ps;
+      dims := Grid.dim (Grid.Fixed n) :: !dims;
+      sep ()
+    | Some (Tid s) ->
+      advance ps;
+      dims := Grid.dim (Grid.Sym s) :: !dims;
+      sep ()
+    | Some (Top ")") -> advance ps
+    | Some t -> fail ps.line "bad dims entry %S" (token_text t)
+    | None -> fail ps.line "unterminated dims(...)"
+  and sep () =
+    match peek ps with
+    | Some (Top ",") ->
+      advance ps;
+      go ()
+    | Some (Top ")") -> advance ps
+    | Some t -> fail ps.line "bad dims separator %S" (token_text t)
+    | None -> fail ps.line "unterminated dims(...)"
+  in
+  go ();
+  if !dims = [] then
+    fail ps.line
+      "dims() declares no dimensions — a scalar grid takes no dims clause";
+  List.rev !dims
+
+(* [param]/[grid]/[modulegrid]/[globalgrid] share one clause grammar;
+   the keyword decides the storage coercion afterwards. *)
+let parse_grid_decl ps =
+  let name = expect_ident ps "a grid name" in
+  let ty = elem_type ps.line (expect_ident ps "an element type") in
+  let dims = ref [] in
+  let save = ref false in
+  let allocatable = ref false in
+  let init = ref Grid.No_init in
+  let storage = ref Grid.Local in
+  let rec clauses () =
+    match peek ps with
+    | None -> ()
+    | Some (Tid "dims") ->
+      advance ps;
+      dims := parse_dims ps;
+      clauses ()
+    | Some (Tid "save") ->
+      advance ps;
+      save := true;
+      clauses ()
+    | Some (Tid "allocatable") ->
+      advance ps;
+      allocatable := true;
+      clauses ()
+    | Some (Tid "init") ->
+      advance ps;
+      (match peek ps with
+      | Some (Tid "zero") ->
+        advance ps;
+        init := Grid.Zero_init
+      | Some (Treal x) ->
+        advance ps;
+        init := Grid.Const_init x
+      | Some (Tint n) ->
+        advance ps;
+        init := Grid.Const_init (float_of_int n)
+      | Some (Top "-") -> (
+        advance ps;
+        match peek ps with
+        | Some (Treal x) ->
+          advance ps;
+          init := Grid.Const_init (-.x)
+        | Some (Tint n) ->
+          advance ps;
+          init := Grid.Const_init (float_of_int (-n))
+        | _ -> fail ps.line "init expects a number or 'zero'")
+      | _ -> fail ps.line "init expects a number or 'zero'");
+      clauses ()
+    | Some (Tid "usemodule") ->
+      advance ps;
+      let m = expect_ident ps "a module name" in
+      storage := Grid.External_module m;
+      clauses ()
+    | Some (Tid "typevar") ->
+      advance ps;
+      let v = expect_ident ps "a TYPE variable name" in
+      (match !storage with
+      | Grid.External_module m -> storage := Grid.Type_element (m, v)
+      | _ -> fail ps.line "typevar requires a preceding usemodule clause");
+      clauses ()
+    | Some (Tid "common") ->
+      advance ps;
+      let blk = expect_ident ps "a COMMON block name" in
+      storage := Grid.Common blk;
+      clauses ()
+    | Some t -> fail ps.line "unknown grid clause %S" (token_text t)
+  in
+  clauses ();
+  Grid.make ~kind:(Grid.Dense ty) ~dims:!dims ~storage:!storage
+    ~allocatable:!allocatable ~save:!save ~init:!init name
+
+(* --- action interpreter -------------------------------------------------- *)
+
+(* Open control-flow blocks; statements accumulate (reversed) in the
+   innermost frame until its matching [end]. *)
+type frame =
+  | F_for of {
+      fl : int;
+      index : string;
+      lo : Expr.t;
+      hi : Expr.t;
+      fstep : Expr.t;
+      mutable body : Stmt.t list;
+    }
+  | F_while of { fl : int; cond : Expr.t; mutable body : Stmt.t list }
+  | F_if of {
+      fl : int;
+      mutable branches : (Expr.t * Stmt.t list) list;  (* reversed *)
+      mutable cond : Expr.t option;  (* None = inside [else] *)
+      mutable body : Stmt.t list;
+    }
+
+let frame_kind = function
+  | F_for _ -> "foreach"
+  | F_while _ -> "while"
+  | F_if _ -> "if"
+
+let frame_line = function
+  | F_for { fl; _ } | F_while { fl; _ } | F_if { fl; _ } -> fl
+
+(** Run a GPI action script and return the validated IR program. *)
+let run source : Ir_module.program =
+  let b = ref None in
+  let builder ln =
+    match !b with
+    | Some bb -> bb
+    | None -> fail ln "the first action must be 'program <name>'"
+  in
+  let stack = ref [] in
+  let finished = ref false in
+  let last_line = ref 1 in
+  (* resolve a grid name as the script position currently sees it *)
+  let lookup name =
+    match !b with
+    | None -> None
+    | Some bb ->
+      let find gs =
+        List.find_opt (fun (g : Grid.t) -> String.equal g.Grid.name name) gs
+      in
+      let in_module m =
+        let in_func =
+          match m.Build.m_funcs with
+          | f :: _ -> find f.Build.f_grids
+          | [] -> None
+        in
+        match in_func with
+        | Some g -> Some g
+        | None -> find m.Build.m_grids
+      in
+      let local =
+        match bb.Build.modules with
+        | m :: _ -> in_module m
+        | [] -> None
+      in
+      (match local with
+      | Some g -> Some g
+      | None -> find bb.Build.globals)
+  in
+  let pstate ln toks = { toks; pos = 0; line = ln; lookup } in
+  (* wrap builder mutations so Build_error gains a line number *)
+  let guarded ln f =
+    match f () with
+    | v -> v
+    | exception Build.Build_error msg -> fail ln "%s" msg
+  in
+  let require_closed ln what =
+    match !stack with
+    | [] -> ()
+    | fr :: _ ->
+      fail (frame_line fr) "unterminated %s (still open at %s on line %d)"
+        (frame_kind fr) what ln
+  in
+  let emit ln stmt =
+    match !stack with
+    | F_for f :: _ -> f.body <- stmt :: f.body
+    | F_while w :: _ -> w.body <- stmt :: w.body
+    | F_if i :: _ -> i.body <- stmt :: i.body
+    | [] -> guarded ln (fun () -> Build.add_stmt (builder ln) stmt)
+  in
+  let close_if_branch (i : _) =
+    match i with
+    | F_if fr -> (
+      let body = List.rev fr.body in
+      fr.body <- [];
+      match fr.cond with
+      | Some c ->
+        fr.branches <- (c, body) :: fr.branches;
+        fr.cond <- None
+      | None -> ())
+    | _ -> assert false
+  in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '!' || line.[0] = '#' then ()
+      else if !finished then
+        fail ln "action after 'end program'"
+      else begin
+        last_line := ln;
+        let toks = tokenize ln line in
+        let keyword =
+          match toks.(0) with
+          | Tid k -> String.lowercase_ascii k
+          | t -> fail ln "expected an action keyword, found %S" (token_text t)
+        in
+        let rest = pstate ln (Array.sub toks 1 (Array.length toks - 1)) in
+        match keyword with
+        | "program" ->
+          if !b <> None then fail ln "duplicate 'program' action";
+          b := Some (Build.create (expect_ident rest "a program name"))
+        | "module" ->
+          require_closed ln "'module'";
+          Build.add_module (builder ln) (expect_ident rest "a module name")
+        | "globalgrid" ->
+          require_closed ln "'globalgrid'";
+          Build.add_global (builder ln) (parse_grid_decl rest)
+        | "modulegrid" ->
+          require_closed ln "'modulegrid'";
+          guarded ln (fun () ->
+              Build.add_module_grid (builder ln) (parse_grid_decl rest))
+        | "function" ->
+          require_closed ln "'function'";
+          let name = expect_ident rest "a function name" in
+          (match expect_ident rest "'returns'" with
+          | "returns" -> ()
+          | other -> fail ln "expected 'returns', found %S" other);
+          let return =
+            match expect_ident rest "a return type or 'void'" with
+            | "void" -> None
+            | ty -> Some (elem_type ln ty)
+          in
+          guarded ln (fun () ->
+              Build.start_function (builder ln) ?return name)
+        | "param" ->
+          guarded ln (fun () ->
+              Build.add_param (builder ln) (parse_grid_decl rest))
+        | "grid" ->
+          guarded ln (fun () ->
+              Build.add_grid (builder ln) (parse_grid_decl rest))
+        | "step" ->
+          require_closed ln "'step'";
+          guarded ln (fun () ->
+              Build.start_step (builder ln) (expect_ident rest "a step label"))
+        | "set" ->
+          let grid = expect_ident rest "a grid name" in
+          let field =
+            match peek rest with
+            | Some (Top "%") ->
+              advance rest;
+              Some (expect_ident rest "a field name")
+            | _ -> None
+          in
+          let indices =
+            match peek rest with
+            | Some (Top "(") -> parse_args rest
+            | _ -> []
+          in
+          (match lookup grid with
+          | Some g when Grid.is_scalar g && indices <> [] ->
+            fail ln
+              "grid %S is a scalar (declared without dims) and takes no \
+               subscripts"
+              grid
+          | _ -> ());
+          expect_op rest "=";
+          let e = parse_whole_expr rest in
+          emit ln (Stmt.Assign ({ Expr.grid; field; indices }, e))
+        | "foreach" ->
+          let index = expect_ident rest "a loop index" in
+          expect_op rest "=";
+          let lo = parse_expr rest in
+          expect_op rest ",";
+          let hi = parse_expr rest in
+          let fstep =
+            match peek rest with
+            | Some (Top ",") ->
+              advance rest;
+              parse_whole_expr rest
+            | Some t -> fail ln "trailing %S after foreach bounds" (token_text t)
+            | None -> Expr.int 1
+          in
+          stack := F_for { fl = ln; index; lo; hi; fstep; body = [] } :: !stack
+        | "while" ->
+          let cond = parse_whole_expr rest in
+          stack := F_while { fl = ln; cond; body = [] } :: !stack
+        | "if" ->
+          let cond = parse_whole_expr rest in
+          stack :=
+            F_if { fl = ln; branches = []; cond = Some cond; body = [] }
+            :: !stack
+        | "elseif" -> (
+          match !stack with
+          | (F_if fr as top) :: _ ->
+            if fr.cond = None then
+              fail ln "elseif after else";
+            close_if_branch top;
+            fr.cond <- Some (parse_whole_expr rest)
+          | _ -> fail ln "elseif without an open if")
+        | "else" -> (
+          match !stack with
+          | (F_if fr as top) :: _ ->
+            if fr.cond = None then fail ln "duplicate else";
+            close_if_branch top
+          | _ -> fail ln "else without an open if")
+        | "return" ->
+          let e =
+            match peek rest with
+            | None -> None
+            | Some _ -> Some (parse_whole_expr rest)
+          in
+          emit ln (Stmt.Return e)
+        | "call" ->
+          let callee = expect_ident rest "a subroutine name" in
+          let args =
+            match peek rest with
+            | Some (Top "(") -> parse_args rest
+            | Some t -> fail ln "trailing %S after call" (token_text t)
+            | None -> []
+          in
+          emit ln (Stmt.Call (callee, args))
+        | "exit" -> emit ln Stmt.Exit_loop
+        | "cycle" -> emit ln Stmt.Cycle_loop
+        | "end" -> (
+          match String.lowercase_ascii (expect_ident rest "a block kind") with
+          | "foreach" -> (
+            match !stack with
+            | F_for f :: tl ->
+              stack := tl;
+              emit ln
+                (Stmt.For
+                   {
+                     Stmt.index = f.index;
+                     lo = f.lo;
+                     hi = f.hi;
+                     step = f.fstep;
+                     body = List.rev f.body;
+                     directive = None;
+                   })
+            | fr :: _ ->
+              fail ln "'end foreach' closes a %s opened on line %d"
+                (frame_kind fr) (frame_line fr)
+            | [] -> fail ln "'end foreach' without an open foreach")
+          | "while" -> (
+            match !stack with
+            | F_while w :: tl ->
+              stack := tl;
+              emit ln (Stmt.While (w.cond, List.rev w.body))
+            | fr :: _ ->
+              fail ln "'end while' closes a %s opened on line %d"
+                (frame_kind fr) (frame_line fr)
+            | [] -> fail ln "'end while' without an open while")
+          | "if" -> (
+            match !stack with
+            | (F_if fr as top) :: tl ->
+              let else_ =
+                if fr.cond = None then begin
+                  let body = List.rev fr.body in
+                  fr.body <- [];
+                  body
+                end
+                else begin
+                  close_if_branch top;
+                  []
+                end
+              in
+              stack := tl;
+              emit ln (Stmt.If (List.rev fr.branches, else_))
+            | fr :: _ ->
+              fail ln "'end if' closes a %s opened on line %d" (frame_kind fr)
+                (frame_line fr)
+            | [] -> fail ln "'end if' without an open if")
+          | "function" -> require_closed ln "'end function'"
+          | "program" ->
+            require_closed ln "'end program'";
+            finished := true
+          | other -> fail ln "unknown block kind 'end %s'" other)
+        | other -> fail ln "unknown action %S" other
+      end)
+    lines;
+  require_closed (!last_line + 1) "end of script";
+  match !b with
+  | None -> fail 1 "empty script: expected 'program <name>'"
+  | Some bb -> (
+    match Build.finish bb with
+    | p -> p
+    | exception Build.Build_error msg -> fail !last_line "%s" msg)

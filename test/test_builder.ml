@@ -1,0 +1,134 @@
+(* Tests for the glaf_builder front-end: Gpi_script error paths and a
+   Build-vs-script round trip. *)
+
+open Glaf_ir
+open Glaf_builder
+
+let program_t =
+  Alcotest.testable Ir_module.pp_program Ir_module.equal_program
+
+let check_script_error ~line script name =
+  match Gpi_script.run script with
+  | _ -> Alcotest.failf "%s: expected Script_error, parse succeeded" name
+  | exception Gpi_script.Script_error (l, msg) ->
+    Alcotest.(check int)
+      (Printf.sprintf "%s: error line (%s)" name msg)
+      line l
+
+let test_unknown_action () =
+  check_script_error ~line:3 "program p\nmodule m\nbogus action here\n"
+    "unknown action"
+
+let test_subscript_on_scalar () =
+  (* [x] is declared without dims, so [x(3)] must be rejected at the
+     line of the offending [set]. *)
+  check_script_error ~line:6
+    "program p\n\
+     module m\n\
+     function f returns real8\n\
+     param x real8\n\
+     step s\n\
+     set x(3) = 1.0\n\
+     end program\n"
+    "subscripted scalar lvalue";
+  (* same rule on the right-hand side *)
+  check_script_error ~line:6
+    "program p\n\
+     module m\n\
+     function f returns real8\n\
+     param x real8\n\
+     step s\n\
+     set x = x(2) + 1.0\n\
+     end program\n"
+    "subscripted scalar rvalue";
+  (* an empty dims() clause is a contradiction: dims-less grids are
+     scalars *)
+  check_script_error ~line:4
+    "program p\nmodule m\nfunction f returns void\ngrid t real8 dims()\n"
+    "empty dims clause"
+
+let test_unterminated_foreach () =
+  (* the error points at the foreach opener (line 6), not at the [end
+     program] that exposes it *)
+  check_script_error ~line:6
+    "program p\n\
+     module m\n\
+     function f returns integer\n\
+     param n integer\n\
+     step s\n\
+     foreach i = 1, n\n\
+     set n = i\n\
+     end program\n"
+    "unterminated foreach at end program";
+  (* also caught when the script just stops *)
+  check_script_error ~line:6
+    "program p\n\
+     module m\n\
+     function f returns integer\n\
+     param n integer\n\
+     step s\n\
+     foreach i = 1, n\n\
+     set n = i\n"
+    "unterminated foreach at eof"
+
+let saxpy_script =
+  "! saxpy, script form\n\
+   program p\n\
+   module m\n\
+   function axpy returns real8\n\
+   param n integer\n\
+   param a real8\n\
+   param x real8 dims(n)\n\
+   param y real8 dims(n)\n\
+   grid s real8\n\
+   step compute\n\
+   set s = 0.0\n\
+   foreach i = 1, n\n\
+   set y(i) = a * x(i) + y(i)\n\
+   set s = s + y(i)\n\
+   end foreach\n\
+   return s\n\
+   end program\n"
+
+let saxpy_built () =
+  let b = Build.create "p" in
+  Build.add_module b "m";
+  Build.start_function b "axpy" ~return:Types.T_real8;
+  Build.add_param b (Grid.scalar Types.T_int "n");
+  Build.add_param b (Grid.scalar Types.T_real8 "a");
+  Build.add_param b
+    (Grid.array Types.T_real8 ~dims:[ Grid.dim (Grid.Sym "n") ] "x");
+  Build.add_param b
+    (Grid.array Types.T_real8 ~dims:[ Grid.dim (Grid.Sym "n") ] "y");
+  Build.add_grid b (Grid.scalar Types.T_real8 "s");
+  Build.start_step b "compute";
+  Build.add_stmt b (Stmt.assign_var "s" (Expr.real 0.0));
+  Build.add_stmt b
+    (Stmt.for_ "i" ~lo:(Expr.int 1) ~hi:(Expr.var "n")
+       [
+         Stmt.assign_idx "y" [ Expr.var "i" ]
+           Expr.(var "a" * idx "x" [ var "i" ] + idx "y" [ var "i" ]);
+         Stmt.assign_var "s" Expr.(var "s" + idx "y" [ var "i" ]);
+       ]);
+  Build.add_stmt b (Stmt.Return (Some (Expr.var "s")));
+  Build.finish b
+
+let test_round_trip () =
+  let from_script = Gpi_script.run saxpy_script in
+  let from_build = saxpy_built () in
+  Alcotest.check program_t "script and Build produce identical IR"
+    from_build from_script
+
+let suites =
+  [
+    ( "builder.script_errors",
+      [
+        Alcotest.test_case "unknown action" `Quick test_unknown_action;
+        Alcotest.test_case "subscript on scalar" `Quick
+          test_subscript_on_scalar;
+        Alcotest.test_case "unterminated foreach" `Quick
+          test_unterminated_foreach;
+      ] );
+    ( "builder.round_trip",
+      [ Alcotest.test_case "saxpy" `Quick test_round_trip ] );
+  ]

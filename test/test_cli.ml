@@ -20,11 +20,18 @@ let contains haystack needle =
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
   go 0
 
-let available () = Sys.file_exists exe && Sys.file_exists scripts
+(* Both the binary and the scripts directory are declared dune deps of
+   this test executable, so their absence means the build is broken —
+   fail loudly instead of silently skipping every CLI test. *)
+let require_available () =
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Printf.sprintf "CLI binary %s is missing" exe);
+  if not (Sys.file_exists scripts) then
+    Alcotest.fail (Printf.sprintf "scripts directory %s is missing" scripts)
 
 let test_compile_fortran () =
-  if not (available ()) then ()
-  else begin
+  require_available ();
+  begin
     let rc, out = run_capture (Printf.sprintf "%s compile %s/saxpy.gpi" exe scripts) in
     check_bool "exit 0" true (rc = 0);
     check_bool "module emitted" true (contains out "module m");
@@ -32,8 +39,8 @@ let test_compile_fortran () =
   end
 
 let test_compile_policy_and_serial () =
-  if not (available ()) then ()
-  else begin
+  require_available ();
+  begin
     let rc, out =
       run_capture
         (Printf.sprintf "%s compile %s/saxpy.gpi --policy v2" exe scripts)
@@ -49,8 +56,8 @@ let test_compile_policy_and_serial () =
   end
 
 let test_compile_c_and_opencl () =
-  if not (available ()) then ()
-  else begin
+  require_available ();
+  begin
     let rc, out =
       run_capture (Printf.sprintf "%s compile %s/saxpy.gpi --lang c" exe scripts)
     in
@@ -64,8 +71,8 @@ let test_compile_c_and_opencl () =
   end
 
 let test_analyze () =
-  if not (available ()) then ()
-  else begin
+  require_available ();
+  begin
     let rc, out =
       run_capture (Printf.sprintf "%s analyze %s/point_charge.gpi" exe scripts)
     in
@@ -75,8 +82,8 @@ let test_analyze () =
   end
 
 let test_run_function () =
-  if not (available ()) then ()
-  else begin
+  require_available ();
+  begin
     (* with n = 0 the loop never runs, so the (scalar-filled) array
        arguments are never indexed and the reduction result is 0 *)
     let rc, out =
@@ -91,8 +98,8 @@ let test_run_function () =
   end
 
 let test_check_against_legacy () =
-  if not (available ()) then ()
-  else begin
+  require_available ();
+  begin
     (* write the SARB legacy source to a file and check the shipped
        integration script against it *)
     let legacy = Filename.temp_file "oglaf_legacy" ".f90" in
@@ -109,8 +116,8 @@ let test_check_against_legacy () =
   end
 
 let test_sloc_command () =
-  if not (available ()) then ()
-  else begin
+  require_available ();
+  begin
     let src = Filename.temp_file "oglaf_sloc" ".f90" in
     let oc = open_out src in
     output_string oc "subroutine s()\ninteger :: i\ni = 1\nend subroutine s\n";

@@ -6,6 +6,7 @@ let () =
          Test_fortran_parser.suites;
          Test_interp.suites;
          Test_analysis.suites;
+         Test_builder.suites;
          Test_codegen.suites;
          Test_workloads.suites;
          Test_runtime.suites;
