@@ -150,6 +150,90 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and interpret a function of a GPI script")
     Term.(const run $ script_arg $ call_arg $ fun_args $ threads_arg)
 
+(* --- serve -------------------------------------------------------------- *)
+
+let calls_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "calls" ] ~docv:"FILE"
+        ~doc:"Calls file: one 'function(arg, ...)' per line.")
+
+let serve_threads_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "threads" ] ~docv:"N"
+        ~doc:
+          "Thread count for every served call (default: pool default, \
+           i.e. \\$(b,OGLAF_NUM_THREADS) or cores - 1).")
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schedule" ] ~docv:"S"
+        ~doc:
+          "Default loop schedule for served calls: static, chunk:K or \
+           dynamic:K.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print worker-pool statistics after the batch.")
+
+let serve_cmd =
+  let run script calls_file threads sched_s stats =
+    let sched =
+      match sched_s with
+      | None -> None
+      | Some s -> (
+        match Glaf_runtime.Sched.of_string s with
+        | Some sc -> Some sc
+        | None ->
+          Printf.eprintf
+            "unknown schedule %s (expected static, chunk:K or dynamic:K)\n" s;
+          exit 1)
+    in
+    let compiled =
+      match Glaf_service.Serve.compile (read_file script) with
+      | c -> c
+      | exception Glaf_builder.Gpi_script.Script_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" script line msg;
+        exit 1
+    in
+    let calls =
+      match Glaf_service.Serve.parse_calls (read_file calls_file) with
+      | c -> c
+      | exception Glaf_service.Serve.Calls_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" calls_file line msg;
+        exit 1
+    in
+    Glaf_runtime.Pool.reset_stats ();
+    (try
+       List.iter
+         (fun call ->
+           let oc =
+             Glaf_service.Serve.run_call ?threads ?sched compiled call
+           in
+           Format.printf "%a@." Glaf_service.Serve.pp_outcome oc)
+         calls
+     with Glaf_interp.Interp.Fortran_error msg ->
+       Printf.eprintf "runtime error: %s\n" msg;
+       exit 1);
+    if stats then
+      Format.printf "%a" Glaf_runtime.Pool.pp_stats
+        (Glaf_runtime.Pool.stats ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Compile a GPI script once and serve a batch of kernel calls \
+          from it")
+    Term.(
+      const run $ script_arg $ calls_arg $ serve_threads_arg $ schedule_arg
+      $ stats_flag)
+
 (* --- check -------------------------------------------------------------- *)
 
 let legacy_arg =
@@ -243,4 +327,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; analyze_cmd; run_cmd; check_cmd; sloc_cmd; sarb_cmd; fun3d_cmd ]))
+          [ compile_cmd; analyze_cmd; run_cmd; serve_cmd; check_cmd; sloc_cmd; sarb_cmd; fun3d_cmd ]))

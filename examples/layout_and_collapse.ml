@@ -109,9 +109,11 @@ let () =
                       E.(var "i" * int 100 + var "j" + real 0.0);
                   ];
                 directive = None;
+                schedule = None;
               };
           ];
         directive = None;
+                schedule = None;
       }
   in
   (match Glaf_optimizer.Loop_opt.collapse ~fresh_index:"k" nest with

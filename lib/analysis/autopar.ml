@@ -43,7 +43,12 @@ let annotate_function ?(pure = []) program enclosing (f : Func.t) :
       { re_function = f.Func.name; re_index = l.Stmt.index; re_info = info }
       :: !report;
     if info.Loop_info.parallel then begin
-      let directive = Loop_info.to_directive info in
+      (* fold the user's GPI schedule hint into the emitted directive *)
+      let directive =
+        Option.map
+          (fun (d : Stmt.directive) -> { d with Stmt.schedule = l.Stmt.schedule })
+          (Loop_info.to_directive info)
+      in
       (* inner loops of an annotated loop stay serial *)
       { l with Stmt.directive }
     end

@@ -61,4 +61,5 @@ let to_directive info : Stmt.directive option =
         reductions = List.map (fun r -> (r.red_op, r.red_var)) info.reductions;
         collapse = (if info.collapsible then 2 else 1);
         num_threads = None;
+        schedule = None;
       }

@@ -116,7 +116,7 @@ let tokenize ln s =
         i := !i + 2
       | _ -> (
         match c with
-        | '+' | '-' | '*' | '/' | '(' | ')' | ',' | '<' | '>' | '=' | '%' ->
+        | '+' | '-' | '*' | '/' | '(' | ')' | ',' | '<' | '>' | '=' | '%' | ':' ->
           toks := Top (String.make 1 c) :: !toks;
           incr i
         | _ -> fail ln "unexpected character %C" c)
@@ -333,6 +333,26 @@ let parse_whole_expr ps =
   | None -> ());
   e
 
+(* The [schedule] clause of [foreach]: [static], [chunk:<k>] or
+   [dynamic:<k>], mapping to the runtime pool's loop schedules. *)
+let parse_schedule ps =
+  match peek ps with
+  | Some (Tid "static") ->
+    advance ps;
+    Stmt.Sched_static
+  | Some (Tid (("chunk" | "dynamic") as kind)) -> (
+    advance ps;
+    expect_op ps ":";
+    match peek ps with
+    | Some (Tint k) when k >= 1 ->
+      advance ps;
+      if kind = "chunk" then Stmt.Sched_static_chunk k else Stmt.Sched_dynamic k
+    | _ -> fail ps.line "schedule %s: expects a positive chunk size" kind)
+  | Some t ->
+    fail ps.line "unknown schedule %S (expected static, chunk:<k> or dynamic:<k>)"
+      (token_text t)
+  | None -> fail ps.line "schedule expects static, chunk:<k> or dynamic:<k>"
+
 (* --- grid declarations -------------------------------------------------- *)
 
 let elem_type ln = function
@@ -457,6 +477,7 @@ type frame =
       lo : Expr.t;
       hi : Expr.t;
       fstep : Expr.t;
+      fsched : Stmt.sched option;
       mutable body : Stmt.t list;
     }
   | F_while of { fl : int; cond : Expr.t; mutable body : Stmt.t list }
@@ -634,11 +655,21 @@ let run source : Ir_module.program =
             match peek rest with
             | Some (Top ",") ->
               advance rest;
-              parse_whole_expr rest
-            | Some t -> fail ln "trailing %S after foreach bounds" (token_text t)
-            | None -> Expr.int 1
+              parse_expr rest
+            | _ -> Expr.int 1
           in
-          stack := F_for { fl = ln; index; lo; hi; fstep; body = [] } :: !stack
+          let fsched =
+            match peek rest with
+            | Some (Tid "schedule") ->
+              advance rest;
+              Some (parse_schedule rest)
+            | _ -> None
+          in
+          (match peek rest with
+          | Some t -> fail ln "trailing %S after foreach bounds" (token_text t)
+          | None -> ());
+          stack :=
+            F_for { fl = ln; index; lo; hi; fstep; fsched; body = [] } :: !stack
         | "while" ->
           let cond = parse_whole_expr rest in
           stack := F_while { fl = ln; cond; body = [] } :: !stack
@@ -694,6 +725,7 @@ let run source : Ir_module.program =
                      step = f.fstep;
                      body = List.rev f.body;
                      directive = None;
+                     schedule = f.fsched;
                    })
             | fr :: _ ->
               fail ln "'end foreach' closes a %s opened on line %d"

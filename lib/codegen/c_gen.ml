@@ -114,6 +114,13 @@ let gen_directive_pragma (d : Stmt.directive) =
   (match d.Stmt.num_threads with
   | Some n -> Buffer.add_string clauses (Printf.sprintf " num_threads(%d)" n)
   | None -> ());
+  (match d.Stmt.schedule with
+  | Some Stmt.Sched_static -> Buffer.add_string clauses " schedule(static)"
+  | Some (Stmt.Sched_static_chunk k) ->
+    Buffer.add_string clauses (Printf.sprintf " schedule(static, %d)" k)
+  | Some (Stmt.Sched_dynamic k) ->
+    Buffer.add_string clauses (Printf.sprintf " schedule(dynamic, %d)" k)
+  | None -> ());
   "#pragma omp parallel for" ^ Buffer.contents clauses
 
 let rec gen_stmts w ~emit_omp stmts =

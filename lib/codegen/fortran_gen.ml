@@ -114,6 +114,13 @@ let gen_directive (d : Stmt.directive) : Ast.omp_do =
         d.Stmt.reductions;
     omp_collapse = d.Stmt.collapse;
     omp_num_threads = Option.map (fun n -> Ast.Int_lit n) d.Stmt.num_threads;
+    omp_schedule =
+      Option.map
+        (function
+          | Stmt.Sched_static -> Ast.Static
+          | Stmt.Sched_static_chunk k -> Ast.Static_chunk k
+          | Stmt.Sched_dynamic k -> Ast.Dynamic k)
+        d.Stmt.schedule;
   }
 
 let rec gen_stmts ctx stmts = List.concat_map (gen_stmt ctx) stmts

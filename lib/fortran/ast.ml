@@ -66,8 +66,9 @@ let var name : expr = Desig [ (name, []) ]
 let desig_name (d : designator) = fst (List.hd d)
 
 type omp_schedule =
-  | Static
-  | Dynamic
+  | Static  (** default static chunking, no chunk argument *)
+  | Static_chunk of int  (** [schedule(static, k)] *)
+  | Dynamic of int  (** [schedule(dynamic[, k])], default chunk 1 *)
   | Guided
 [@@deriving show { with_path = false }, eq]
 

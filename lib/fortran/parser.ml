@@ -324,15 +324,25 @@ let parse_omp_clauses c =
     | Lexer.Ident "schedule" ->
       advance c;
       expect c Lexer.Lparen "(";
-      let sched =
-        match expect_ident c with
-        | "static" -> Static
-        | "dynamic" -> Dynamic
-        | "guided" -> Guided
-        | s -> fail c.lineno "unknown schedule %S" s
+      let kind = expect_ident c in
+      (* optional literal chunk size *)
+      let chunk =
+        if accept c Lexer.Comma then
+          match parse_expr c with
+          | Int_lit n when n >= 1 -> Some n
+          | e ->
+            fail c.lineno "schedule chunk must be a positive integer, got %a"
+              pp_expr e
+        else None
       in
-      (* optional chunk *)
-      if accept c Lexer.Comma then ignore (parse_expr c);
+      let sched =
+        match (kind, chunk) with
+        | "static", None -> Static
+        | "static", Some k -> Static_chunk k
+        | "dynamic", k -> Dynamic (Option.value k ~default:1)
+        | "guided", _ -> Guided
+        | s, _ -> fail c.lineno "unknown schedule %S" s
+      in
       expect c Lexer.Rparen ")";
       d := { !d with omp_schedule = Some sched };
       loop ()

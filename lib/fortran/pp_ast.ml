@@ -173,7 +173,8 @@ let omp_clause_string (d : omp_do) =
   | None -> ());
   (match d.omp_schedule with
   | Some Static -> buf_add b " schedule(static)"
-  | Some Dynamic -> buf_add b " schedule(dynamic)"
+  | Some (Static_chunk k) -> buf_add b (Printf.sprintf " schedule(static, %d)" k)
+  | Some (Dynamic k) -> buf_add b (Printf.sprintf " schedule(dynamic, %d)" k)
   | Some Guided -> buf_add b " schedule(guided)"
   | None -> ());
   if d.omp_copyprivate <> [] then

@@ -59,6 +59,8 @@ type state = {
       (** ALLOCATE statements executed (reallocation study, Fig. 7) *)
   mutable printer : string -> unit;
   mutable default_threads : int;
+  mutable default_sched : Sched.t;
+      (** schedule used when a directive has no SCHEDULE clause *)
 }
 
 let rec lookup scope name : slot option =
@@ -126,9 +128,11 @@ let make_state ?(printer = print_string) (cu : Ast.compilation_unit) =
     alloc_count = Atomic.make 0;
     printer;
     default_threads = Omp.num_threads ();
+    default_sched = Sched.default;
   }
 
 let set_threads st n = st.default_threads <- max 1 n
+let set_schedule st s = st.default_sched <- s
 let allocations st = Atomic.get st.alloc_count
 let reset_allocations st = Atomic.set st.alloc_count 0
 
@@ -887,6 +891,16 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     | Some e -> Value.to_int (eval st scope e)
     | None -> st.default_threads
   in
+  let sched =
+    match d.Ast.omp_schedule with
+    | Some Ast.Static -> Sched.Static
+    | Some (Ast.Static_chunk k) -> Sched.Static_chunked k
+    | Some (Ast.Dynamic k) -> Sched.Dynamic k
+    | Some Ast.Guided ->
+      (* the pool has no guided scheduler; dynamic is the closest *)
+      Sched.Dynamic 1
+    | None -> st.default_sched
+  in
   (* collapse(2): fuse with the unique inner loop *)
   let collapse2 =
     if d.Ast.omp_collapse >= 2 then begin
@@ -950,7 +964,7 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
         try exec_stmts st tscope l.Ast.do_body with Loop_cycle -> ()
       done
     in
-    Omp.parallel_for ~threads ~lo ~hi (run_chunk body)
+    Omp.parallel_for ~threads ~sched ~lo ~hi (run_chunk body)
   | Some inner ->
     let ilo = Value.to_int (eval st scope inner.Ast.do_lo)
     and ihi = Value.to_int (eval st scope inner.Ast.do_hi) in
@@ -969,7 +983,7 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
           try exec_stmts st tscope inner.Ast.do_body with Loop_cycle -> ()
         done
       in
-      Omp.parallel_for ~threads ~lo:1 ~hi:total (run_chunk body));
+      Omp.parallel_for ~threads ~sched ~lo:1 ~hi:total (run_chunk body));
   (* combine reductions deterministically, in thread order *)
   let per_thread =
     List.sort (fun (a, _) (b, _) -> compare a b) !reduction_slots_per_thread

@@ -13,18 +13,34 @@ type red_op =
   | Rmin
 [@@deriving show { with_path = false }, eq, ord]
 
+(** Loop schedule, mirroring OpenMP's [SCHEDULE] clause (the subset
+    the runtime pool implements). *)
+type sched =
+  | Sched_static  (** contiguous per-thread blocks; the default *)
+  | Sched_static_chunk of int  (** [schedule(static, k)] round-robin *)
+  | Sched_dynamic of int  (** [schedule(dynamic, k)] work pulling *)
+[@@deriving show { with_path = false }, eq, ord]
+
 (** An OpenMP-style parallel-loop directive, as attached by the
-    auto-parallelizer.  [collapse = 1] means no COLLAPSE clause. *)
+    auto-parallelizer.  [collapse = 1] means no COLLAPSE clause;
+    [schedule = None] leaves the runtime default (static). *)
 type directive = {
   private_vars : string list;
   reductions : (red_op * string) list;
   collapse : int;
   num_threads : int option;
+  schedule : sched option;
 }
 [@@deriving show { with_path = false }, eq, ord]
 
 let plain_directive =
-  { private_vars = []; reductions = []; collapse = 1; num_threads = None }
+  {
+    private_vars = [];
+    reductions = [];
+    collapse = 1;
+    num_threads = None;
+    schedule = None;
+  }
 
 type t =
   | Assign of Expr.gref * Expr.t
@@ -48,6 +64,10 @@ and loop = {
   step : Expr.t;
   body : t list;
   directive : directive option;
+  schedule : sched option;
+      (** user schedule hint (the GPI [schedule] clause); folded into
+          the directive by the auto-parallelizer if the loop is
+          parallelized *)
 }
 [@@deriving show { with_path = false }, eq, ord]
 
@@ -59,8 +79,8 @@ let assign_var name e =
 let assign_idx name indices e =
   Assign ({ Expr.grid = name; field = None; indices }, e)
 
-let for_ ?directive ?(step = Expr.int 1) index ~lo ~hi body =
-  For { index; lo; hi; step; body; directive }
+let for_ ?directive ?schedule ?(step = Expr.int 1) index ~lo ~hi body =
+  For { index; lo; hi; step; body; directive; schedule }
 
 let if_ cond then_ else_ = If ([ (cond, then_) ], else_)
 

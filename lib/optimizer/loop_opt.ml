@@ -70,5 +70,6 @@ let collapse ~fresh_index (loop : Stmt.loop) : Stmt.loop option =
                      :: d.Stmt.private_vars);
               })
             loop.Stmt.directive;
+        schedule = loop.Stmt.schedule;
       }
   | _ -> None

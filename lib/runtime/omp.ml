@@ -1,16 +1,20 @@
 (** OpenMP-flavoured parallel runtime on OCaml 5 domains.
 
     Provides the fork-join [parallel_for] the interpreter uses to
-    execute [!$OMP PARALLEL DO], with static chunking (OpenMP's default
-    schedule), a global lock for CRITICAL sections and an atomic-update
-    helper.  Nested parallel regions simply spawn more domains, which
+    execute [!$OMP PARALLEL DO].  Since PR 2 the fork-join runs on the
+    persistent worker pool ({!Pool}): domains are created once and
+    reused across regions, with per-loop scheduling ({!Sched}) —
+    [Static] (the default, OpenMP's static chunking with deterministic
+    chunk assignment), [Static_chunked k] and [Dynamic k].  Nested
+    parallel regions fall back to spawn-per-region domains, which
     reproduces the oversubscription behaviour the paper observes at 8
-    threads on a 4-core machine. *)
+    threads on a 4-core machine.
 
-let default_num_threads = ref (max 1 (Domain.recommended_domain_count () - 1))
+    A global lock backs CRITICAL sections and the atomic-update
+    helper. *)
 
-let set_num_threads n = default_num_threads := max 1 n
-let num_threads () = !default_num_threads
+let set_num_threads = Pool.set_num_threads
+let num_threads = Pool.num_threads
 
 (* One global lock backs both CRITICAL sections and ATOMIC updates;
    fine for correctness, and its contention is part of what makes
@@ -23,60 +27,25 @@ let critical f =
 
 let atomic_update = critical
 
-(** Static chunking of the inclusive iteration space [lo..hi] (unit
-    step) into [n] contiguous chunks; returns [(chunk_lo, chunk_hi)]
-    per thread, empty chunks as [(1, 0)]-style inverted ranges. *)
-let static_chunks ~lo ~hi n =
-  let total = hi - lo + 1 in
-  if total <= 0 then Array.make n (lo, lo - 1)
-  else
-    Array.init n (fun t ->
-        let base = total / n and extra = total mod n in
-        let start = lo + (t * base) + min t extra in
-        let len = base + if t < extra then 1 else 0 in
-        (start, start + len - 1))
+(** Static chunking of the inclusive iteration space [lo..hi]; see
+    {!Sched.static_chunks}. *)
+let static_chunks = Sched.static_chunks
 
-(** Run [body t chunk_lo chunk_hi] on [threads] domains over [lo..hi].
-    The calling domain acts as thread 0 (like an OpenMP master), the
-    rest are spawned — so a 1-thread parallel loop still pays a small
-    runtime cost but spawns nothing. *)
-let parallel_for ?threads ~lo ~hi body =
-  let n = match threads with Some n -> max 1 n | None -> num_threads () in
-  let chunks = static_chunks ~lo ~hi n in
-  if n = 1 then begin
-    let clo, chi = chunks.(0) in
-    body 0 clo chi
-  end
-  else begin
-    let spawned =
-      Array.init (n - 1) (fun i ->
-          let t = i + 1 in
-          let clo, chi = chunks.(t) in
-          Domain.spawn (fun () -> body t clo chi))
-    in
-    let clo, chi = chunks.(0) in
-    let master_exn =
-      match body 0 clo chi with
-      | () -> None
-      | exception e -> Some e
-    in
-    let worker_exn = ref None in
-    Array.iter
-      (fun d ->
-        match Domain.join d with
-        | () -> ()
-        | exception e -> if !worker_exn = None then worker_exn := Some e)
-      spawned;
-    match (master_exn, !worker_exn) with
-    | Some e, _ | None, Some e -> raise e
-    | None, None -> ()
-  end
+(** Run [body t chunk_lo chunk_hi] on [threads] logical threads over
+    [lo..hi], dispatching to the resident {!Pool} workers.  The
+    calling domain acts as thread 0 (like an OpenMP master), so a
+    1-thread parallel loop still pays a small runtime cost but
+    dispatches nothing.  Under non-[Static] schedules [body] may be
+    invoked several times per thread, once per chunk. *)
+let parallel_for ?threads ?sched ~lo ~hi body =
+  Pool.run ?threads ?sched ~lo ~hi body
 
 (** Fork-join helper returning per-thread results in thread order
-    (deterministic reduction combining). *)
+    (deterministic reduction combining).  Always runs under [Static]:
+    each thread contributes exactly one result. *)
 let parallel_for_collect ?threads ~lo ~hi body =
   let n = match threads with Some n -> max 1 n | None -> num_threads () in
   let results = Array.make n None in
-  parallel_for ~threads:n ~lo ~hi (fun t clo chi ->
+  Pool.run ~threads:n ~sched:Sched.Static ~lo ~hi (fun t clo chi ->
       results.(t) <- Some (body t clo chi));
   Array.to_list results |> List.filter_map Fun.id

@@ -1,0 +1,59 @@
+(** Loop-scheduling policies of the parallel runtime.
+
+    Mirrors OpenMP's [SCHEDULE] clause for the subset the interpreter
+    executes: [Static] is OpenMP's default schedule (one contiguous
+    block per thread, deterministic chunk assignment and therefore
+    deterministic reduction combining order), [Static_chunked k] deals
+    chunks of [k] iterations round-robin, and [Dynamic k] lets threads
+    pull [k]-iteration chunks from a shared counter (load-balancing at
+    the price of determinism). *)
+
+type t =
+  | Static
+  | Static_chunked of int  (** round-robin chunks of this size *)
+  | Dynamic of int  (** work-stealing chunks of this size *)
+
+let default = Static
+
+let to_string = function
+  | Static -> "static"
+  | Static_chunked k -> Printf.sprintf "chunk:%d" k
+  | Dynamic k -> Printf.sprintf "dynamic:%d" k
+
+(** Parse the surface syntax shared by the CLI ([--schedule]) and the
+    [.gpi] [schedule] clause: [static], [chunk:<k>] or [dynamic:<k>]
+    (chunk sizes must be >= 1). *)
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "static" -> Some Static
+  | s -> (
+    let chunked prefix mk =
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+        | Some k when k >= 1 -> Some (mk k)
+        | _ -> None
+      else None
+    in
+    match chunked "chunk:" (fun k -> Static_chunked k) with
+    | Some _ as r -> r
+    | None -> chunked "dynamic:" (fun k -> Dynamic k))
+
+(** Static chunking of the inclusive iteration space [lo..hi] (unit
+    step) into [n] contiguous chunks; returns [(chunk_lo, chunk_hi)]
+    per thread, empty chunks as [(lo, lo - 1)]-style inverted ranges.
+    OpenMP's default [schedule(static)]. *)
+let static_chunks ~lo ~hi n =
+  let total = hi - lo + 1 in
+  if total <= 0 then Array.make n (lo, lo - 1)
+  else
+    Array.init n (fun t ->
+        let base = total / n and extra = total mod n in
+        let start = lo + (t * base) + min t extra in
+        let len = base + if t < extra then 1 else 0 in
+        (start, start + len - 1))
+
+(** Number of logical threads that receive at least one iteration
+    under [schedule(static)] — workers beyond this get empty chunks
+    and are never dispatched to. *)
+let static_occupancy ~lo ~hi n = max 0 (min n (hi - lo + 1))

@@ -1,0 +1,166 @@
+(** Batched kernel serving.
+
+    The paper's workflow compiles a GPI action script once and then
+    runs the generated kernel many times (parameter sweeps, per-mesh
+    invocations).  [oglaf run] pays the whole
+    script -> analysis -> codegen -> parse pipeline on every
+    invocation; this module performs that pipeline {e once}
+    ({!compile}) and then serves a batch of kernel calls from it
+    ({!run_calls}), with a fresh interpreter state per call so
+    invocations cannot leak grid state into each other.
+
+    The calls file format is one call per line:
+    {[
+      # comment
+      saxpy(1000, 2.5)
+      dot(1000)
+    ]}
+    Arguments are integer or real literals.  Blank lines and lines
+    starting with [#] are skipped. *)
+
+open Glaf_fortran
+open Glaf_runtime
+
+(** One kernel invocation from a calls file. *)
+type call = {
+  cl_line : int;  (** 1-based line in the calls file *)
+  cl_name : string;  (** function of the script to invoke *)
+  cl_args : Ast.expr list;
+}
+
+exception Calls_error of int * string
+
+let calls_error ln fmt =
+  Format.kasprintf (fun s -> raise (Calls_error (ln, s))) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let parse_arg ln s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some n -> Ast.Int_lit n
+  | None -> (
+    match float_of_string_opt s with
+    | Some x -> Ast.Real_lit (x, true)
+    | None -> calls_error ln "argument %S is not an integer or real literal" s)
+
+let parse_call ln line =
+  match String.index_opt line '(' with
+  | None ->
+    let name = String.trim line in
+    if name = "" || not (String.for_all is_ident_char name) then
+      calls_error ln "expected 'function(arg, ...)', got %S" line;
+    { cl_line = ln; cl_name = name; cl_args = [] }
+  | Some op ->
+    let name = String.trim (String.sub line 0 op) in
+    if name = "" || not (String.for_all is_ident_char name) then
+      calls_error ln "bad function name %S" (String.trim (String.sub line 0 op));
+    let rest = String.sub line (op + 1) (String.length line - op - 1) in
+    let rest = String.trim rest in
+    if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
+      calls_error ln "missing ')' in call to %s" name;
+    let inside = String.trim (String.sub rest 0 (String.length rest - 1)) in
+    let args =
+      if inside = "" then []
+      else List.map (parse_arg ln) (String.split_on_char ',' inside)
+    in
+    { cl_line = ln; cl_name = name; cl_args = args }
+
+(** Parse a calls file ([#] comments and blank lines skipped).
+    @raise Calls_error on malformed lines. *)
+let parse_calls text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let ln = i + 1 in
+         let s = String.trim line in
+         if s = "" || s.[0] = '#' then [] else [ parse_call ln s ])
+       lines)
+
+(* --- compile once ------------------------------------------------------- *)
+
+(** A script compiled once for repeated serving: the generated Fortran
+    source and its parsed compilation unit. *)
+type compiled = {
+  co_source : string;  (** generated Fortran source *)
+  co_unit : Ast.compilation_unit;
+}
+
+(** Build -> auto-parallelize -> generate Fortran -> parse, once.
+    @raise Glaf_builder.Gpi_script.Script_error on bad scripts. *)
+let compile gpi_text =
+  let program = Glaf_builder.Gpi_script.run gpi_text in
+  let pure = Intrinsics.names () in
+  let annotated, _report = Glaf_analysis.Autopar.run ~pure program in
+  let src =
+    Glaf_codegen.Fortran_gen.to_source
+      ~opts:Glaf_codegen.Fortran_gen.default_options annotated
+  in
+  { co_source = src; co_unit = Parser.parse_string src }
+
+(* --- serve -------------------------------------------------------------- *)
+
+(** Result of one served invocation. *)
+type outcome = {
+  oc_call : call;
+  oc_value : Value.t option;  (** function result; [None] for subroutines *)
+  oc_output : string;  (** PRINT output captured during the call *)
+  oc_time_s : float;  (** wall-clock seconds for this invocation *)
+}
+
+(** Run one call on a {e fresh} interpreter state (per-invocation grid
+    isolation: SAVE variables, module data and allocations of one call
+    are invisible to the next).
+    @raise Glaf_interp.Interp.Fortran_error on runtime errors. *)
+let run_call ?threads ?sched compiled call =
+  let buf = Buffer.create 64 in
+  let st =
+    Glaf_interp.Interp.make_state ~printer:(Buffer.add_string buf)
+      compiled.co_unit
+  in
+  (match threads with
+  | Some n -> Glaf_interp.Interp.set_threads st n
+  | None -> ());
+  (match sched with
+  | Some s -> Glaf_interp.Interp.set_schedule st s
+  | None -> ());
+  let t0 = Unix.gettimeofday () in
+  let v = Glaf_interp.Interp.call st call.cl_name call.cl_args in
+  let t1 = Unix.gettimeofday () in
+  {
+    oc_call = call;
+    oc_value = v;
+    oc_output = Buffer.contents buf;
+    oc_time_s = t1 -. t0;
+  }
+
+(** Serve a batch of calls in file order. *)
+let run_calls ?threads ?sched compiled calls =
+  List.map (run_call ?threads ?sched compiled) calls
+
+let pp_outcome ppf oc =
+  Format.fprintf ppf "%s%s -> %s  (%.3f ms)"
+    oc.oc_call.cl_name
+    (match oc.oc_call.cl_args with
+    | [] -> "()"
+    | args ->
+      "("
+      ^ String.concat ", "
+          (List.map
+             (function
+               | Ast.Int_lit n -> string_of_int n
+               | Ast.Real_lit (x, _) -> string_of_float x
+               | _ -> "?")
+             args)
+      ^ ")")
+    (match oc.oc_value with
+    | Some v -> Value.to_string v
+    | None -> "(subroutine completed)")
+    (oc.oc_time_s *. 1e3);
+  if oc.oc_output <> "" then
+    Format.fprintf ppf "@\n%s" (String.trim oc.oc_output)

@@ -109,6 +109,7 @@ let dir ?(collapse = 1) privates =
       reductions = [];
       collapse;
       num_threads = None;
+      schedule = None;
     }
 
 let maybe_dir on ?collapse privates = if on then dir ?collapse privates else None
@@ -170,6 +171,7 @@ let build_ioff_search ~opts b =
          step = E.int 1;
          body = [ body ];
          directive = maybe_dir opts.par_ioff [];
+         schedule = None;
        });
   Build.add_stmt b (S.Return (Some (E.var "ipos")))
 
@@ -251,6 +253,7 @@ let build_edge_loop ~opts b =
                   + idx "diss" [ var "i" ] * real 0.0);
            ];
          directive = maybe_dir opts.par_edge [];
+         schedule = None;
        });
   Build.start_step b "scatter";
   let update sign node =
@@ -271,6 +274,7 @@ let build_edge_loop ~opts b =
          step = E.int 1;
          body = [ update 1 "n1"; update (-1) "n2" ];
          directive = maybe_dir opts.par_edge [];
+         schedule = None;
        })
 
 (* --- cell_loop ---------------------------------------------------------- *)
@@ -304,6 +308,7 @@ let build_cell_loop ~opts b =
                ];
            ];
          directive = maybe_dir opts.par_cell [ "n1"; "i" ];
+         schedule = None;
        });
   Build.start_step b "gradient";
   (* component-major so the parallel loop carries no accumulation race *)
@@ -336,6 +341,7 @@ let build_cell_loop ~opts b =
                ];
            ];
          directive = maybe_dir opts.par_cell [ "f"; "w" ];
+         schedule = None;
        });
   Build.start_step b "edges";
   Build.add_stmt b
@@ -348,6 +354,7 @@ let build_cell_loop ~opts b =
          body =
            [ S.Call ("edge_loop", [ E.var "c"; E.var "e"; E.var "qn"; E.var "grad" ]) ];
          directive = maybe_dir opts.par_edge [];
+         schedule = None;
        })
 
 (* --- edgejp (outermost) --------------------------------------------------- *)
@@ -370,6 +377,7 @@ let build_edgejp ~opts b =
                [ S.assign_idx "ajac" [ E.var "i"; E.var "n" ] (E.real 0.0) ];
            ];
          directive = maybe_dir opts.par_edgejp ~collapse:2 [ "i" ];
+         schedule = None;
        });
   Build.start_step b "cells";
   Build.add_stmt b
@@ -381,6 +389,7 @@ let build_edgejp ~opts b =
          step = E.int 1;
          body = [ S.Call ("cell_loop", [ E.var "c" ]) ];
          directive = maybe_dir opts.par_edgejp [];
+         schedule = None;
        })
 
 (** Build a Figure-7 variant. *)

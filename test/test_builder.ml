@@ -71,6 +71,93 @@ let test_unterminated_foreach () =
      set n = i\n"
     "unterminated foreach at eof"
 
+(* --- the foreach schedule clause --------------------------------------- *)
+
+let sched_script clause =
+  Printf.sprintf
+    "program p\n\
+     module m\n\
+     function f returns real8\n\
+     param n integer\n\
+     grid s real8\n\
+     step compute\n\
+     set s = 0.0\n\
+     foreach i = 1, n%s\n\
+     set s = s + i\n\
+     end foreach\n\
+     return s\n\
+     end program\n"
+    clause
+
+let first_loop_schedule program =
+  let loops = ref [] in
+  List.iter
+    (fun (m : Ir_module.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          List.iter
+            (fun (st : Func.step) ->
+              ignore
+                (Stmt.map_loops
+                   (fun l ->
+                     loops := l :: !loops;
+                     l)
+                   st.Func.body))
+            f.Func.steps)
+        m.Ir_module.functions)
+    program.Ir_module.modules;
+  match !loops with
+  | [ l ] -> l.Stmt.schedule
+  | _ -> Alcotest.fail "expected exactly one loop"
+
+let test_schedule_clause () =
+  let check name clause expected =
+    Alcotest.(check bool)
+      name true
+      (first_loop_schedule (Gpi_script.run (sched_script clause)) = expected)
+  in
+  check "no clause" "" None;
+  check "static" " schedule static" (Some Stmt.Sched_static);
+  check "chunk" " schedule chunk:4" (Some (Stmt.Sched_static_chunk 4));
+  check "dynamic" " schedule dynamic:16" (Some (Stmt.Sched_dynamic 16))
+
+let test_schedule_clause_errors () =
+  check_script_error ~line:8 (sched_script " schedule guided")
+    "unknown schedule kind";
+  check_script_error ~line:8 (sched_script " schedule chunk:0")
+    "non-positive chunk";
+  check_script_error ~line:8 (sched_script " schedule dynamic")
+    "dynamic without chunk";
+  check_script_error ~line:8 (sched_script " schedule static extra")
+    "trailing tokens after schedule"
+
+(* The schedule hint survives auto-parallelization: Autopar folds it
+   into the emitted directive. *)
+let test_schedule_reaches_directive () =
+  let program = Gpi_script.run (sched_script " schedule dynamic:8") in
+  let annotated, _ = Glaf_analysis.Autopar.run program in
+  let found = ref None in
+  List.iter
+    (fun (m : Ir_module.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          List.iter
+            (fun (st : Func.step) ->
+              ignore
+                (Stmt.map_loops
+                   (fun l ->
+                     (match l.Stmt.directive with
+                     | Some d -> found := Some d.Stmt.schedule
+                     | None -> ());
+                     l)
+                   st.Func.body))
+            f.Func.steps)
+        m.Ir_module.functions)
+    annotated.Ir_module.modules;
+  Alcotest.(check bool)
+    "directive carries the hint" true
+    (!found = Some (Some (Stmt.Sched_dynamic 8)))
+
 let saxpy_script =
   "! saxpy, script form\n\
    program p\n\
@@ -128,6 +215,13 @@ let suites =
           test_subscript_on_scalar;
         Alcotest.test_case "unterminated foreach" `Quick
           test_unterminated_foreach;
+      ] );
+    ( "builder.schedule",
+      [
+        Alcotest.test_case "clause variants" `Quick test_schedule_clause;
+        Alcotest.test_case "clause errors" `Quick test_schedule_clause_errors;
+        Alcotest.test_case "reaches directive" `Quick
+          test_schedule_reaches_directive;
       ] );
     ( "builder.round_trip",
       [ Alcotest.test_case "saxpy" `Quick test_round_trip ] );

@@ -115,6 +115,60 @@ let test_check_against_legacy () =
     check_bool "resolves" true (contains out "OK")
   end
 
+let test_serve_batch () =
+  require_available ();
+  begin
+    (* three invocations of the quadrature kernel from one compile *)
+    let calls = Filename.temp_file "oglaf_calls" ".txt" in
+    let oc = open_out calls in
+    output_string oc "# serve smoke\npi_mid(100)\n\npi_mid(1000)\npi_mid(5000)\n";
+    close_out oc;
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s serve %s/quad_sweep.gpi --calls %s --threads 2 --stats" exe
+           scripts (Filename.quote calls))
+    in
+    check_bool "exit 0" true (rc = 0);
+    (* one result line per call, in file order, each approximating pi *)
+    check_bool "three results" true
+      (List.length
+         (List.filter
+            (fun l -> contains l "pi_mid(")
+            (String.split_on_char '\n' out))
+      = 3);
+    check_bool "approximates pi" true (contains out "3.141");
+    check_bool "stats printed" true (contains out "resident workers");
+    (* bad schedule is rejected *)
+    let rc, _ =
+      run_capture
+        (Printf.sprintf
+           "%s serve %s/quad_sweep.gpi --calls %s --schedule bogus" exe scripts
+           (Filename.quote calls))
+    in
+    check_bool "bad schedule exits nonzero" true (rc <> 0)
+  end
+
+let test_serve_calls_parser () =
+  let open Glaf_service in
+  let calls = Serve.parse_calls "# c\n\nf(1, 2.5)\ng\nh()\n" in
+  Alcotest.(check int) "three calls" 3 (List.length calls);
+  let f = List.hd calls in
+  check_bool "name" true (f.Serve.cl_name = "f");
+  check_bool "args" true
+    (f.Serve.cl_args
+    = [ Glaf_fortran.Ast.Int_lit 1; Glaf_fortran.Ast.Real_lit (2.5, true) ]);
+  check_bool "line numbers" true
+    (List.map (fun c -> c.Serve.cl_line) calls = [ 3; 4; 5 ]);
+  check_bool "bad arg raises" true
+    (match Serve.parse_calls "f(oops)\n" with
+    | exception Serve.Calls_error (1, _) -> true
+    | _ -> false);
+  check_bool "missing paren raises" true
+    (match Serve.parse_calls "f(1\n" with
+    | exception Serve.Calls_error (1, _) -> true
+    | _ -> false)
+
 let test_sloc_command () =
   require_available ();
   begin
@@ -136,6 +190,8 @@ let suites =
         Alcotest.test_case "c + opencl" `Quick test_compile_c_and_opencl;
         Alcotest.test_case "analyze" `Quick test_analyze;
         Alcotest.test_case "run" `Quick test_run_function;
+        Alcotest.test_case "serve batch" `Quick test_serve_batch;
+        Alcotest.test_case "serve calls parser" `Quick test_serve_calls_parser;
         Alcotest.test_case "check legacy" `Quick test_check_against_legacy;
         Alcotest.test_case "sloc" `Quick test_sloc_command;
       ] );

@@ -779,9 +779,11 @@ let test_loop_interchange () =
                       Expr.(var "i" + var "j" + real 0.0);
                   ];
                 directive = None;
+                schedule = None;
               };
           ];
         directive = None;
+                schedule = None;
       }
   in
   match Loop_opt.interchange env nest with
@@ -815,9 +817,11 @@ let test_manual_collapse_semantics () =
                       Expr.(var "i" * int 100 + var "j" + real 0.0);
                   ];
                 directive = None;
+                schedule = None;
               };
           ];
         directive = None;
+                schedule = None;
       }
   in
   let collapsed =

@@ -254,6 +254,49 @@ end subroutine f
     | _ -> Alcotest.fail "expected do loop last")
   | _ -> Alcotest.fail "expected subroutine"
 
+let test_parse_omp_schedule_chunks () =
+  (* schedule clauses with literal chunk sizes survive the
+     parse -> pretty-print round trip *)
+  let directive_of clause =
+    let src =
+      Printf.sprintf
+        "subroutine f(n, a)\n\
+        \  integer :: n\n\
+        \  real*8, dimension(n) :: a\n\
+        \  integer :: i\n\
+         !$omp parallel do %s\n\
+        \  do i = 1, n\n\
+        \    a(i) = 0.0d0\n\
+        \  end do\n\
+         !$omp end parallel do\n\
+         end subroutine f\n"
+        clause
+    in
+    match parse_units src with
+    | [ Ast.Standalone sp ] -> (
+      match List.rev sp.Ast.sub_body with
+      | Ast.Do l :: _ -> (
+        match l.Ast.do_omp with
+        | Some d -> (d.Ast.omp_schedule, Pp_ast.to_string [ Ast.Standalone sp ])
+        | None -> Alcotest.fail "missing omp clause")
+      | _ -> Alcotest.fail "expected do loop last")
+    | _ -> Alcotest.fail "expected subroutine"
+  in
+  let sched, pp = directive_of "schedule(static, 4)" in
+  check_bool "static chunk" true (sched = Some (Ast.Static_chunk 4));
+  check_bool "static chunk round-trips" true
+    (let n = String.length pp in
+     let rec go i =
+       i + 19 <= n && (String.sub pp i 19 = "schedule(static, 4)" || go (i + 1))
+     in
+     go 0);
+  let sched, _ = directive_of "schedule(dynamic, 8)" in
+  check_bool "dynamic chunk" true (sched = Some (Ast.Dynamic 8));
+  let sched, _ = directive_of "schedule(dynamic)" in
+  check_bool "dynamic default chunk" true (sched = Some (Ast.Dynamic 1));
+  let sched, _ = directive_of "schedule(guided, 2)" in
+  check_bool "guided" true (sched = Some Ast.Guided)
+
 let test_parse_omp_atomic_critical () =
   let src =
     {|
@@ -643,6 +686,8 @@ let suites =
         Alcotest.test_case "if/elseif" `Quick test_parse_if_elseif;
         Alcotest.test_case "logical if" `Quick test_parse_logical_if;
         Alcotest.test_case "omp parallel do" `Quick test_parse_omp_do;
+        Alcotest.test_case "omp schedule chunks" `Quick
+          test_parse_omp_schedule_chunks;
         Alcotest.test_case "omp atomic/critical" `Quick test_parse_omp_atomic_critical;
         Alcotest.test_case "allocate/save" `Quick test_parse_allocate_save;
         Alcotest.test_case "do while/exit/cycle" `Quick test_parse_do_while_exit_cycle;

@@ -192,6 +192,127 @@ let test_critical_mutual_exclusion () =
       done);
   check_int "no lost updates" 400 !counter
 
+(* --- Sched / Pool --------------------------------------------------------- *)
+
+let test_sched_of_string () =
+  check_bool "static" true (Sched.of_string "static" = Some Sched.Static);
+  check_bool "chunk" true (Sched.of_string "chunk:8" = Some (Sched.Static_chunked 8));
+  check_bool "dynamic" true (Sched.of_string "dynamic:2" = Some (Sched.Dynamic 2));
+  check_bool "zero chunk rejected" true (Sched.of_string "chunk:0" = None);
+  check_bool "junk rejected" true (Sched.of_string "guided" = None);
+  List.iter
+    (fun s ->
+      check_bool "roundtrip" true
+        (Sched.of_string (Sched.to_string s) = Some s))
+    [ Sched.Static; Sched.Static_chunked 3; Sched.Dynamic 5 ]
+
+let test_pool_empty_range () =
+  let called = Atomic.make 0 in
+  List.iter
+    (fun sched ->
+      Pool.run ~threads:4 ~sched ~lo:5 ~hi:4 (fun _ _ _ -> Atomic.incr called))
+    [ Sched.Static; Sched.Static_chunked 2; Sched.Dynamic 2 ];
+  check_int "body never called on empty range" 0 (Atomic.get called)
+
+let test_pool_threads_exceed_iterations () =
+  (* 8 threads over 3 iterations: occupancy caps the team, every
+     iteration runs exactly once, and no thread sees an empty chunk *)
+  let hits = Array.make 4 0 in
+  Omp.parallel_for ~threads:8 ~lo:1 ~hi:3 (fun _ lo hi ->
+      check_bool "chunk non-empty" true (hi >= lo);
+      for i = lo to hi do
+        Omp.critical (fun () -> hits.(i) <- hits.(i) + 1)
+      done);
+  Alcotest.(check (list int)) "each iteration once" [ 1; 1; 1 ]
+    (Array.to_list (Array.sub hits 1 3))
+
+let test_pool_exception_propagates () =
+  check_bool "pooled region surfaces exception" true
+    (match
+       Pool.run ~threads:4 ~lo:1 ~hi:1000 (fun _ lo _ ->
+           if lo > 1 then failwith "pool boom")
+     with
+    | exception Failure _ -> true
+    | () -> false);
+  (* the pool survives a throwing region *)
+  let ok = Atomic.make 0 in
+  Pool.run ~threads:4 ~lo:1 ~hi:100 (fun _ lo hi ->
+      ignore (Atomic.fetch_and_add ok (hi - lo + 1)));
+  check_int "pool usable after exception" 100 (Atomic.get ok)
+
+let test_pool_schedules_cover_range () =
+  List.iter
+    (fun sched ->
+      let seen = Array.make 102 0 in
+      Pool.run ~threads:4 ~sched ~lo:1 ~hi:101 (fun _ lo hi ->
+          for i = lo to hi do
+            Omp.critical (fun () -> seen.(i) <- seen.(i) + 1)
+          done);
+      check_bool
+        (Printf.sprintf "%s covers 1..101 exactly once" (Sched.to_string sched))
+        true
+        (Array.for_all (fun c -> c = 1) (Array.sub seen 1 101)))
+    [ Sched.Static; Sched.Static_chunked 7; Sched.Dynamic 3 ]
+
+(* Static chunk boundaries are a pure function of (lo, hi, threads), so
+   per-thread partial sums — and the thread-ordered combine — are
+   bit-identical across repeated runs even for values where floating
+   addition does not commute. *)
+let static_partial_sum ~threads n =
+  let partials = Array.make threads 0.0 in
+  Omp.parallel_for ~threads ~sched:Sched.Static ~lo:1 ~hi:n (fun t lo hi ->
+      let s = ref 0.0 in
+      for i = lo to hi do
+        s := !s +. (1.0 /. float_of_int i)
+      done;
+      partials.(t) <- !s);
+  Array.fold_left ( +. ) 0.0 partials
+
+let test_pool_static_reduction_deterministic () =
+  List.iter
+    (fun threads ->
+      let first = static_partial_sum ~threads 10_000 in
+      for _ = 1 to 5 do
+        let again = static_partial_sum ~threads 10_000 in
+        check_bool
+          (Printf.sprintf "bit-identical at %d threads" threads)
+          true
+          (Int64.equal (Int64.bits_of_float first) (Int64.bits_of_float again))
+      done)
+    [ 1; 2; 4 ]
+
+let test_pool_reuse_many_regions () =
+  (* warm the pool, then check 1000 tiny regions neither grow it nor
+     fall back to spawning *)
+  Pool.run ~threads:4 ~lo:1 ~hi:100 (fun _ _ _ -> ());
+  let size0 = Pool.pool_size () in
+  Pool.reset_stats ();
+  let total = Atomic.make 0 in
+  for _ = 1 to 1000 do
+    Pool.run ~threads:4 ~lo:1 ~hi:16 (fun _ lo hi ->
+        ignore (Atomic.fetch_and_add total (hi - lo + 1)))
+  done;
+  check_int "all iterations ran" 16_000 (Atomic.get total);
+  check_int "pool size stable" size0 (Pool.pool_size ());
+  let s = Pool.stats () in
+  check_int "all regions pooled" 1000 s.Pool.regions;
+  check_int "no spawn fallback" 0 s.Pool.spawn_regions;
+  check_bool "tasks recorded" true (s.Pool.tasks >= 1000)
+
+let test_pool_nested_region_falls_back () =
+  (* a region launched from inside a worker must not deadlock on the
+     resident team; it takes the spawn fallback *)
+  Pool.reset_stats ();
+  let inner_total = Atomic.make 0 in
+  Pool.run ~threads:2 ~lo:1 ~hi:2 (fun _ lo hi ->
+      for _ = lo to hi do
+        Pool.run ~threads:2 ~lo:1 ~hi:10 (fun _ clo chi ->
+            ignore (Atomic.fetch_and_add inner_total (chi - clo + 1)))
+      done);
+  check_int "nested iterations all ran" 20 (Atomic.get inner_total);
+  check_bool "nested regions used spawn fallback" true
+    ((Pool.stats ()).Pool.spawn_regions >= 1)
+
 (* --- Zones ----------------------------------------------------------------- *)
 
 let test_zone_sizes_cosine () =
@@ -250,6 +371,23 @@ let suites =
         Alcotest.test_case "collect order" `Quick test_parallel_for_collect_order;
         Alcotest.test_case "exception propagation" `Quick test_parallel_exception_propagates;
         Alcotest.test_case "critical exclusion" `Quick test_critical_mutual_exclusion;
+      ] );
+    ( "runtime.pool",
+      [
+        Alcotest.test_case "sched of_string" `Quick test_sched_of_string;
+        Alcotest.test_case "empty range" `Quick test_pool_empty_range;
+        Alcotest.test_case "threads > iterations" `Quick
+          test_pool_threads_exceed_iterations;
+        Alcotest.test_case "exception propagation" `Quick
+          test_pool_exception_propagates;
+        Alcotest.test_case "schedules cover range" `Quick
+          test_pool_schedules_cover_range;
+        Alcotest.test_case "static reduction deterministic" `Quick
+          test_pool_static_reduction_deterministic;
+        Alcotest.test_case "reuse across 1000 regions" `Quick
+          test_pool_reuse_many_regions;
+        Alcotest.test_case "nested region fallback" `Quick
+          test_pool_nested_region_falls_back;
       ] );
     ( "runtime.zones",
       [
