@@ -18,6 +18,27 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Exit codes (documented in the README): 0 success, 1 diagnosed
+   failure (script/calls/runtime/fault), 2 usage error.  Every
+   subcommand body runs under [protect] so the user sees a one-line
+   diagnostic on stderr, never an OCaml backtrace. *)
+let die fmt = Printf.ksprintf (fun s -> Printf.eprintf "oglaf: %s\n" s; exit 1) fmt
+let usage_die fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "oglaf: %s\n" s; exit 2) fmt
+
+let protect f =
+  try f () with
+  | Glaf_builder.Gpi_script.Script_error (line, msg) ->
+    die "script error at line %d: %s" line msg
+  | Glaf_fortran.Parser.Parse_error (line, msg) ->
+    die "parse error at line %d: %s" line msg
+  | Glaf_service.Serve.Calls_error (line, msg) ->
+    die "calls error at line %d: %s" line msg
+  | Glaf_interp.Interp.Fortran_error msg -> die "runtime error: %s" msg
+  | Glaf_runtime.Value.Runtime_error msg -> die "runtime error: %s" msg
+  | Glaf_runtime.Farray.Bounds_error msg -> die "runtime error: %s" msg
+  | Sys_error msg -> die "%s" msg
+
 let load_script path =
   match Glaf_builder.Gpi_script.run (read_file path) with
   | p -> p
@@ -76,11 +97,10 @@ let lang_arg =
 
 let compile_cmd =
   let run script serial policy_s soa lang =
+    protect @@ fun () ->
     let policy = Option.bind policy_s policy_of_string in
-    if policy_s <> None && policy = None then begin
-      Printf.eprintf "unknown policy %s\n" (Option.get policy_s);
-      exit 1
-    end;
+    if policy_s <> None && policy = None then
+      usage_die "unknown policy %s (expected v0..v3)" (Option.get policy_s);
     let annotated, _, opts = pipeline ~serial ~policy ~soa (load_script script) in
     match lang with
     | "fortran" ->
@@ -89,9 +109,7 @@ let compile_cmd =
       print_string (Glaf_codegen.C_gen.gen_program ~emit_omp:(not serial) annotated)
     | "opencl" ->
       print_string (Glaf_codegen.Opencl_gen.gen_program annotated)
-    | other ->
-      Printf.eprintf "unknown language %s\n" other;
-      exit 1
+    | other -> usage_die "unknown language %s (expected fortran, c or opencl)" other
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Auto-parallelize a GPI script and generate code")
@@ -101,6 +119,7 @@ let compile_cmd =
 
 let analyze_cmd =
   let run script =
+    protect @@ fun () ->
     let _, report, _ = pipeline (load_script script) in
     Format.printf "%a@." Glaf_analysis.Autopar.pp_report report
   in
@@ -127,6 +146,7 @@ let threads_arg =
 
 let run_cmd =
   let run script fname args threads =
+    protect @@ fun () ->
     let annotated, _, opts = pipeline (load_script script) in
     let src = Glaf_codegen.Fortran_gen.to_source ~opts annotated in
     let st = Glaf_interp.Interp.make_state (Glaf_fortran.Parser.parse_string src) in
@@ -136,15 +156,15 @@ let run_cmd =
         (fun a ->
           match int_of_string_opt a with
           | Some n -> Glaf_fortran.Ast.Int_lit n
-          | None -> Glaf_fortran.Ast.Real_lit (float_of_string a, true))
+          | None -> (
+            match float_of_string_opt a with
+            | Some x -> Glaf_fortran.Ast.Real_lit (x, true)
+            | None -> usage_die "--arg %S is not an integer or real literal" a))
         args
     in
     match Glaf_interp.Interp.call st fname actuals with
     | Some v -> print_endline (Glaf_runtime.Value.to_string v)
     | None -> print_endline "(subroutine completed)"
-    | exception Glaf_interp.Interp.Fortran_error msg ->
-      Printf.eprintf "runtime error: %s\n" msg;
-      exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and interpret a function of a GPI script")
@@ -182,8 +202,44 @@ let stats_flag =
     value & flag
     & info [ "stats" ] ~doc:"Print worker-pool statistics after the batch.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-call deadline in milliseconds; a call past it is cancelled \
+           at the next loop/chunk boundary and reported as a timeout fault.")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Retry a call up to N extra times (exponential backoff) when it \
+           failed with a transient fault (pool, timeout).")
+
+let max_errors_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-errors" ] ~docv:"K"
+        ~doc:"Abort the batch after K failed calls (default: keep serving).")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"PLAN"
+        ~doc:
+          "Install a fault-injection plan: comma-separated \
+           $(b,fail-region:K), $(b,delay-chunk:K:MS), \
+           $(b,kill-worker:I[:N]) (see DESIGN.md \\S11).")
+
 let serve_cmd =
-  let run script calls_file threads sched_s stats =
+  let run script calls_file threads sched_s stats timeout_ms retries max_errors
+      inject =
+    protect @@ fun () ->
     let sched =
       match sched_s with
       | None -> None
@@ -191,39 +247,45 @@ let serve_cmd =
         match Glaf_runtime.Sched.of_string s with
         | Some sc -> Some sc
         | None ->
-          Printf.eprintf
-            "unknown schedule %s (expected static, chunk:K or dynamic:K)\n" s;
-          exit 1)
+          usage_die "unknown schedule %s (expected static, chunk:K or dynamic:K)"
+            s)
     in
-    let compiled =
-      match Glaf_service.Serve.compile (read_file script) with
-      | c -> c
-      | exception Glaf_builder.Gpi_script.Script_error (line, msg) ->
-        Printf.eprintf "%s:%d: %s\n" script line msg;
-        exit 1
+    (match inject with
+    | None -> ()
+    | Some plan -> (
+      match Glaf_runtime.Faultinject.parse_plan plan with
+      | Ok p -> Glaf_runtime.Faultinject.set_plan p
+      | Error msg -> usage_die "bad --inject plan: %s" msg));
+    (match max_errors with
+    | Some k when k < 1 -> usage_die "--max-errors must be >= 1"
+    | _ -> ());
+    if retries < 0 then usage_die "--retry must be >= 0";
+    let deadline_s =
+      match timeout_ms with
+      | None -> None
+      | Some ms when ms >= 1 -> Some (float_of_int ms /. 1e3)
+      | Some ms -> usage_die "--timeout-ms must be >= 1, got %d" ms
     in
-    let calls =
-      match Glaf_service.Serve.parse_calls (read_file calls_file) with
-      | c -> c
-      | exception Glaf_service.Serve.Calls_error (line, msg) ->
-        Printf.eprintf "%s:%d: %s\n" calls_file line msg;
-        exit 1
-    in
+    let compiled = Glaf_service.Serve.compile (read_file script) in
+    let calls = Glaf_service.Serve.parse_calls (read_file calls_file) in
     Glaf_runtime.Pool.reset_stats ();
-    (try
-       List.iter
-         (fun call ->
-           let oc =
-             Glaf_service.Serve.run_call ?threads ?sched compiled call
-           in
-           Format.printf "%a@." Glaf_service.Serve.pp_outcome oc)
-         calls
-     with Glaf_interp.Interp.Fortran_error msg ->
-       Printf.eprintf "runtime error: %s\n" msg;
-       exit 1);
+    let batch =
+      Glaf_service.Serve.run_calls ?threads ?sched ?deadline_s ~retries
+        ?max_errors
+        ~on_result:(fun _call r ->
+          match r with
+          | Ok oc -> Format.printf "%a@." Glaf_service.Serve.pp_outcome oc
+          | Error f ->
+            Format.printf "[FAULT] %s@." (Glaf_runtime.Fault.to_string f))
+        compiled calls
+    in
     if stats then
       Format.printf "%a" Glaf_runtime.Pool.pp_stats
-        (Glaf_runtime.Pool.stats ())
+        (Glaf_runtime.Pool.stats ());
+    if batch.Glaf_service.Serve.b_failed > 0 then begin
+      Format.eprintf "oglaf: %a@." Glaf_service.Serve.pp_batch_summary batch;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -232,7 +294,7 @@ let serve_cmd =
           from it")
     Term.(
       const run $ script_arg $ calls_arg $ serve_threads_arg $ schedule_arg
-      $ stats_flag)
+      $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg $ inject_arg)
 
 (* --- check -------------------------------------------------------------- *)
 
@@ -244,6 +306,7 @@ let legacy_arg =
 
 let check_cmd =
   let run script legacy =
+    protect @@ fun () ->
     let program = load_script script in
     let model = Glaf_integration.Legacy_model.of_source (read_file legacy) in
     match Glaf_integration.Checker.check model program with
@@ -266,6 +329,7 @@ let sloc_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Fortran source")
   in
   let run file =
+    protect @@ fun () ->
     let cu = Glaf_fortran.Parser.parse_string (read_file file) in
     List.iter
       (fun (name, n) -> Printf.printf "%-32s %6d\n" name n)
@@ -279,6 +343,7 @@ let sloc_cmd =
 
 let sarb_cmd =
   let run () =
+    protect @@ fun () ->
     print_endline "== integration check ==";
     (match Glaf_workloads.Sarb.integration_issues () with
     | [] -> print_endline "OK"
@@ -306,6 +371,7 @@ let fun3d_cmd =
     Arg.(value & opt int 150 & info [ "ncell" ] ~doc:"Mesh size for the interpreted runs.")
   in
   let run ncell =
+    protect @@ fun () ->
     print_endline "== verification + reallocation study ==";
     List.iter
       (fun (v, d, a) ->
@@ -324,7 +390,11 @@ let fun3d_cmd =
 let () =
   let doc = "GLAF reproduction: auto-parallelization and code generation" in
   let info = Cmd.info "oglaf" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ compile_cmd; analyze_cmd; run_cmd; serve_cmd; check_cmd; sloc_cmd; sarb_cmd; fun3d_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ compile_cmd; analyze_cmd; run_cmd; serve_cmd; check_cmd; sloc_cmd; sarb_cmd; fun3d_cmd ])
+  in
+  (* cmdliner reports CLI misuse as 124; the documented usage-error
+     code is 2 (1 is reserved for diagnosed run failures) *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

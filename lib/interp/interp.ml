@@ -747,8 +747,11 @@ and exec_stmt st scope (s : Ast.stmt) =
     | None -> exec_do_serial st scope l
     | Some d -> exec_do_parallel st scope l d)
   | Ast.Do_while (c, body) ->
+    let tick = ref 0 in
     (try
        while Value.to_bool (eval st scope c) do
+         incr tick;
+         if !tick land 255 = 0 then Fault.check_current ();
          try exec_stmts st scope body with Loop_cycle -> ()
        done
      with Loop_exit -> ())
@@ -833,9 +836,15 @@ and exec_do_serial st scope (l : Ast.do_loop) =
       end
   in
   let continue_ i = if step > 0 then i <= hi else i >= hi in
+  (* Cooperative cancellation: poll the ambient deadline token every
+     256 iterations so a runaway serial loop honours --timeout-ms
+     (parallel loops poll at pool chunk boundaries and below). *)
+  let tick = ref 0 in
   (try
      let i = ref lo in
      while continue_ !i do
+       incr tick;
+       if !tick land 255 = 0 then Fault.check_current ();
        slot.entry <- Scalar (Value.Int !i);
        (try exec_stmts st scope l.Ast.do_body with Loop_cycle -> ());
        i := !i + step
@@ -960,6 +969,7 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     let body tscope clo chi =
       let slot = Hashtbl.find tscope.vars l.Ast.do_var in
       for i = clo to chi do
+        if (i - clo) land 255 = 255 then Fault.check_current ();
         slot.entry <- Scalar (Value.Int i);
         try exec_stmts st tscope l.Ast.do_body with Loop_cycle -> ()
       done
@@ -976,6 +986,7 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
         let oslot = Hashtbl.find tscope.vars l.Ast.do_var in
         let islot = Hashtbl.find tscope.vars inner.Ast.do_var in
         for k = clo to chi do
+          if (k - clo) land 255 = 255 then Fault.check_current ();
           let oi = lo + ((k - 1) / isize) in
           let ii = ilo + ((k - 1) mod isize) in
           oslot.entry <- Scalar (Value.Int oi);

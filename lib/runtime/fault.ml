@@ -1,0 +1,186 @@
+(** Structured fault taxonomy and cooperative cancellation.
+
+    Every layer of the serving stack (pool -> interpreter -> service
+    -> CLI) reports failures in the same shape: a {!t} classifying
+    {e what} went wrong, rendered uniformly by {!to_string} (one-line
+    diagnostics) and {!to_json} (machine-readable, for batch reports
+    and CI).  The classes mirror the pipeline stages:
+
+    - [Parse_fault]    — a script or calls file did not parse;
+    - [Analysis_fault] — auto-parallelization / codegen / reparse of
+                         the generated source failed;
+    - [Runtime_fault]  — the interpreted kernel raised (bad argument
+                         count, division by zero, bounds, STOP, an
+                         injected failure, ...);
+    - [Timeout_fault]  — a per-call deadline fired ({!token});
+    - [Pool_fault]     — the worker pool lost a domain mid-region
+                         ({!Pool_error}).
+
+    [Pool_fault] and [Timeout_fault] are {e transient}
+    ({!is_transient}): the pool self-heals at the next region entry
+    and a deadline may have fired under load, so a retry can succeed.
+    The other classes are deterministic and retrying is pointless.
+
+    The second half of the module is the cooperative cancellation
+    substrate behind [oglaf serve --timeout-ms]: a {!token} carries an
+    absolute deadline plus an explicit cancel flag, an ambient token
+    is installed per served call ({!with_token}), and the pool's chunk
+    dispatch and the interpreter's loop bodies poll
+    {!check_current} — a runaway kernel raises {!Cancelled} at the
+    next chunk/iteration boundary instead of wedging the batch. *)
+
+(** {1 Taxonomy} *)
+
+type t =
+  | Parse_fault of { line : int; reason : string }
+  | Analysis_fault of { reason : string }
+  | Runtime_fault of { call : string; line : int; reason : string }
+  | Timeout_fault of { call : string; line : int; reason : string }
+  | Pool_fault of { call : string; line : int; reason : string }
+
+(** Fault class alone, for per-batch counts. *)
+type cls = Parse | Analysis | Runtime | Timeout | Pool
+
+let all_classes = [ Parse; Analysis; Runtime; Timeout; Pool ]
+
+let cls_of = function
+  | Parse_fault _ -> Parse
+  | Analysis_fault _ -> Analysis
+  | Runtime_fault _ -> Runtime
+  | Timeout_fault _ -> Timeout
+  | Pool_fault _ -> Pool
+
+let cls_name = function
+  | Parse -> "parse"
+  | Analysis -> "analysis"
+  | Runtime -> "runtime"
+  | Timeout -> "timeout"
+  | Pool -> "pool"
+
+(** Transient faults are worth retrying: the pool respawns dead
+    workers at the next region entry, and a timeout may reflect load
+    rather than the kernel itself.  Parse/analysis/runtime faults are
+    deterministic. *)
+let is_transient f =
+  match cls_of f with Timeout | Pool -> true | Parse | Analysis | Runtime -> false
+
+let reason = function
+  | Parse_fault { reason; _ }
+  | Analysis_fault { reason }
+  | Runtime_fault { reason; _ }
+  | Timeout_fault { reason; _ }
+  | Pool_fault { reason; _ } ->
+    reason
+
+let to_string f =
+  match f with
+  | Parse_fault { line; reason } ->
+    Printf.sprintf "parse fault (line %d): %s" line reason
+  | Analysis_fault { reason } -> Printf.sprintf "analysis fault: %s" reason
+  | Runtime_fault { call; line; reason } ->
+    Printf.sprintf "runtime fault in %s (calls line %d): %s" call line reason
+  | Timeout_fault { call; line; reason } ->
+    Printf.sprintf "timeout fault in %s (calls line %d): %s" call line reason
+  | Pool_fault { call; line; reason } ->
+    Printf.sprintf "pool fault in %s (calls line %d): %s" call line reason
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** Uniform shape: [class] and [reason] always present, [call]/[line]
+    when the fault is attached to a served call or source line. *)
+let to_json f =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let fields =
+    match f with
+    | Parse_fault { line; reason } ->
+      [ field "class" (str "parse");
+        field "line" (string_of_int line);
+        field "reason" (str reason) ]
+    | Analysis_fault { reason } ->
+      [ field "class" (str "analysis"); field "reason" (str reason) ]
+    | Runtime_fault { call; line; reason }
+    | Timeout_fault { call; line; reason }
+    | Pool_fault { call; line; reason } ->
+      [ field "class" (str (cls_name (cls_of f)));
+        field "call" (str call);
+        field "line" (string_of_int line);
+        field "reason" (str reason) ]
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+(** {1 Pool failures}
+
+    Raised by {!Pool} when a worker domain dies mid-region (the chunk
+    it held is reported, never silently dropped).  Classified as
+    [Pool_fault] by the service layer. *)
+exception Pool_error of string
+
+(** {1 Cooperative cancellation} *)
+
+(** Raised at a chunk or iteration boundary once the ambient token is
+    cancelled or past its deadline.  The payload is the reason,
+    e.g. ["deadline of 0.05s exceeded"]. *)
+exception Cancelled of string
+
+(* Monotonic-enough clock for deadlines: OCaml's stdlib exposes no
+   CLOCK_MONOTONIC without an external package, so the watchdog uses
+   gettimeofday; deadlines are short (ms..s) and a wall-clock step
+   merely fires a timeout early or late, never corrupts results. *)
+let now_s = Unix.gettimeofday
+
+type token = {
+  tk_cancelled : bool Atomic.t;
+  tk_deadline : float;  (** absolute time on {!now_s}; [infinity] = none *)
+  tk_budget_s : float;  (** the relative deadline, for messages *)
+}
+
+(** Fresh token; [deadline_s] is relative to now. *)
+let make_token ?deadline_s () =
+  match deadline_s with
+  | None ->
+    { tk_cancelled = Atomic.make false; tk_deadline = infinity; tk_budget_s = infinity }
+  | Some d ->
+    { tk_cancelled = Atomic.make false; tk_deadline = now_s () +. d; tk_budget_s = d }
+
+let cancel tk = Atomic.set tk.tk_cancelled true
+
+let expired tk =
+  Atomic.get tk.tk_cancelled
+  || (tk.tk_deadline < infinity && now_s () > tk.tk_deadline)
+
+(** @raise Cancelled if the token is cancelled or past its deadline. *)
+let check tk =
+  if Atomic.get tk.tk_cancelled then raise (Cancelled "call cancelled")
+  else if tk.tk_deadline < infinity && now_s () > tk.tk_deadline then
+    raise (Cancelled (Printf.sprintf "deadline of %gs exceeded" tk.tk_budget_s))
+
+(* The ambient token.  One serving call is in flight at a time (calls
+   are served in file order), so a single slot suffices; it is an
+   Atomic so pool workers on other domains observe it. *)
+let ambient : token option Atomic.t = Atomic.make None
+
+let current () = Atomic.get ambient
+
+(** Run [f] with [tk] installed as the ambient token (restored on
+    exit); the pool and interpreter poll it via {!check_current}. *)
+let with_token tk f =
+  let prev = Atomic.exchange ambient (Some tk) in
+  Fun.protect ~finally:(fun () -> Atomic.set ambient prev) f
+
+(** Poll point: cheap no-op when no token is installed. *)
+let check_current () =
+  match Atomic.get ambient with None -> () | Some tk -> check tk

@@ -19,6 +19,22 @@
     domains, reproducing the documented oversubscription behaviour of
     nested [PARALLEL DO] — the pool never deadlocks on itself.
 
+    Supervision (PR 3): a worker domain that dies with an unhandled
+    exception is detected at the next region entry and respawned; the
+    region it was serving fails with {!Fault.Pool_error} (the chunk is
+    reported, never silently dropped, and the countdown latch is
+    always released so the master cannot deadlock on the join).  When
+    deaths exceed the respawn budget ({!set_max_respawns}) the pool
+    degrades: the resident team is retired and subsequent regions run
+    their chunk plan {e sequentially} on the master domain, in thread
+    order — identical chunk assignment, identical results, no
+    parallelism.  {!health} reports the mode and is part of {!stats}.
+
+    Cancellation and fault injection: every chunk dispatch polls the
+    ambient {!Fault.check_current} token (cooperative deadlines for
+    [oglaf serve --timeout-ms]) and the {!Faultinject} hooks fire at
+    region entry, chunk dispatch and worker task receipt.
+
     The runtime keeps lightweight counters ({!stats}) so the region
     entry cost, schedule behaviour and worker utilisation are
     observable ([oglaf serve --stats], [bench/main.exe pool]). *)
@@ -62,28 +78,38 @@ let bucket_of_ns ns =
 let c_regions = Atomic.make 0
 let c_inline = Atomic.make 0
 let c_spawn = Atomic.make 0
+let c_seq = Atomic.make 0
 let c_tasks = Atomic.make 0
 let c_busy_ns = Atomic.make 0
 let c_region_ns = Atomic.make 0
 let c_idle_ns = Atomic.make 0
 let c_hist = Array.init hist_buckets (fun _ -> Atomic.make 0)
 
+(** Pool operating mode: [Degraded] means the resident team has been
+    retired after too many worker deaths and regions now run
+    sequentially on the master domain. *)
+type health = Healthy | Degraded of string
+
 type stats = {
   pool_size : int;  (** resident worker domains (excludes the master) *)
   regions : int;  (** regions dispatched to the resident team *)
   inline_regions : int;  (** regions run inline (1 thread or <= 1 iteration) *)
   spawn_regions : int;  (** nested/contended regions on the spawn fallback *)
+  seq_regions : int;  (** regions run sequentially in degraded mode *)
   tasks : int;  (** chunk executions across all regions *)
   busy_ns : int;  (** summed in-body time across team members *)
   region_ns : int;  (** summed region wall-clock time (master view) *)
   idle_ns : int;  (** summed [wall * team - busy]: wait at the join barrier *)
   hist : int array;  (** region wall times: < 1us, < 10us, ..., >= 1s *)
+  respawns : int;  (** dead workers replaced by the supervisor *)
+  health : health;
 }
 
 let reset_stats () =
   Atomic.set c_regions 0;
   Atomic.set c_inline 0;
   Atomic.set c_spawn 0;
+  Atomic.set c_seq 0;
   Atomic.set c_tasks 0;
   Atomic.set c_busy_ns 0;
   Atomic.set c_region_ns 0;
@@ -99,10 +125,16 @@ let record_region ~wall_ns ~busy_ns ~team =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "pool: %d resident workers@\n\
-     regions: %d pooled, %d inline, %d spawn-fallback; %d chunk tasks@\n\
+    "pool: %d resident workers, %s%s@\n\
+     regions: %d pooled, %d inline, %d spawn-fallback, %d sequential \
+     (degraded); %d chunk tasks@\n\
      time: %.3f ms busy / %.3f ms region wall / %.3f ms barrier idle@\n"
-    s.pool_size s.regions s.inline_regions s.spawn_regions s.tasks
+    s.pool_size
+    (match s.health with
+    | Healthy -> "healthy"
+    | Degraded reason -> "DEGRADED (" ^ reason ^ ")")
+    (if s.respawns > 0 then Printf.sprintf ", %d respawns" s.respawns else "")
+    s.regions s.inline_regions s.spawn_regions s.seq_regions s.tasks
     (float_of_int s.busy_ns /. 1e6)
     (float_of_int s.region_ns /. 1e6)
     (float_of_int s.idle_ns /. 1e6);
@@ -124,7 +156,7 @@ type mailbox = {
   mutable stop : bool;
 }
 
-type worker = { mb : mailbox; dom : unit Domain.t }
+type worker = { mb : mailbox; alive : bool Atomic.t; dom : unit Domain.t }
 
 (* True inside a pool worker (or spawn-fallback domain created by the
    pool): a parallel region entered there must not wait on the team it
@@ -138,7 +170,29 @@ let workers : worker array ref = ref [||]
    take the spawn fallback instead of queueing (see [run]). *)
 let region_lock = Mutex.create ()
 
-let worker_main mb =
+(* --- supervision state --------------------------------------------------- *)
+
+(* Set by a dying worker so the common region-entry path pays one
+   atomic load; the supervisor reaps under [pool_lock]. *)
+let dead_flag = Atomic.make false
+let death_note : string Atomic.t = Atomic.make ""
+let c_respawns = Atomic.make 0
+
+(* Respawn budget: beyond this many worker deaths the pool degrades to
+   sequential execution instead of healing (a worker that keeps dying
+   is a systemic problem, not a transient). *)
+let default_max_respawns = 8
+let max_respawns = ref default_max_respawns
+let set_max_respawns n = max_respawns := max 0 n
+
+let degraded_reason : string option Atomic.t = Atomic.make None
+
+let health () =
+  match Atomic.get degraded_reason with
+  | None -> Healthy
+  | Some r -> Degraded r
+
+let worker_main mb alive =
   Domain.DLS.set in_worker true;
   let rec loop () =
     Mutex.lock mb.mu;
@@ -155,13 +209,22 @@ let worker_main mb =
       loop ()
     | None -> if not stop then loop ()
   in
-  loop ()
+  (* Supervisor boundary: an exception escaping a task wrapper (chunk
+     bodies catch their own — this is a poisoned/crashed worker) marks
+     the worker dead for the next region entry to reap.  The domain
+     terminates normally so joining it never re-raises. *)
+  try loop ()
+  with e ->
+    Atomic.set death_note (Printexc.to_string e);
+    Atomic.set alive false;
+    Atomic.set dead_flag true
 
 let spawn_worker () =
   let mb =
     { mu = Mutex.create (); cv = Condition.create (); task = None; stop = false }
   in
-  { mb; dom = Domain.spawn (fun () -> worker_main mb) }
+  let alive = Atomic.make true in
+  { mb; alive; dom = Domain.spawn (fun () -> worker_main mb alive) }
 
 (** Grow the resident team to at least [n] workers (idempotent). *)
 let ensure_workers n =
@@ -183,15 +246,21 @@ let stats () =
     regions = Atomic.get c_regions;
     inline_regions = Atomic.get c_inline;
     spawn_regions = Atomic.get c_spawn;
+    seq_regions = Atomic.get c_seq;
     tasks = Atomic.get c_tasks;
     busy_ns = Atomic.get c_busy_ns;
     region_ns = Atomic.get c_region_ns;
     idle_ns = Atomic.get c_idle_ns;
     hist = Array.map Atomic.get c_hist;
+    respawns = Atomic.get c_respawns;
+    health = health ();
   }
 
 (** Stop and join the resident workers (registered [at_exit] so the
-    process never hangs on blocked condition waits at shutdown). *)
+    process never hangs on blocked condition waits at shutdown).
+    Joins are defensive: a worker that died on its own joins without
+    re-raising (its domain body returned normally), but nothing here
+    may throw during [at_exit]. *)
 let shutdown () =
   Mutex.lock pool_lock;
   let ws = !workers in
@@ -204,9 +273,51 @@ let shutdown () =
       Condition.signal w.mb.cv;
       Mutex.unlock w.mb.mu)
     ws;
-  Array.iter (fun w -> Domain.join w.dom) ws
+  Array.iter (fun w -> try Domain.join w.dom with _ -> ()) ws
 
 let () = at_exit shutdown
+
+(* --- supervision --------------------------------------------------------- *)
+
+(* Retire the resident team and run all subsequent regions
+   sequentially.  Safe while holding [region_lock]: the team is idle
+   (we own the region) and [shutdown] only takes [pool_lock]. *)
+let degrade reason =
+  Atomic.set degraded_reason (Some reason);
+  shutdown ()
+
+(** Leave degraded mode and reset the respawn budget (tests, or an
+    operator who has cleared the underlying cause); workers are
+    re-created lazily at the next region. *)
+let reset_health () =
+  Atomic.set degraded_reason None;
+  Atomic.set dead_flag false;
+  Atomic.set c_respawns 0
+
+(* Reap dead workers and respawn replacements, or degrade once the
+   respawn budget is exhausted.  Called while holding [region_lock],
+   so no chunk is in flight on the resident team. *)
+let heal_workers () =
+  if Atomic.get dead_flag then begin
+    Mutex.lock pool_lock;
+    Atomic.set dead_flag false;
+    let ws = !workers in
+    let died = ref 0 in
+    Array.iteri
+      (fun i w ->
+        if not (Atomic.get w.alive) then begin
+          (try Domain.join w.dom with _ -> ());
+          incr died;
+          Atomic.incr c_respawns;
+          ws.(i) <- spawn_worker ()
+        end)
+      ws;
+    Mutex.unlock pool_lock;
+    if !died > 0 && Atomic.get c_respawns > !max_respawns then
+      degrade
+        (Printf.sprintf "worker deaths exceeded respawn budget of %d (last: %s)"
+           !max_respawns (Atomic.get death_note))
+  end
 
 (* --- region planning ---------------------------------------------------- *)
 
@@ -279,7 +390,11 @@ let reraise_first (exns : exn option array) =
   Array.iter (function Some e -> raise e | None -> ()) exns
 
 (* Dispatch to the resident team; caller holds [region_lock] and has
-   ensured [team - 1] workers exist. *)
+   ensured [team - 1] workers exist.  The latch release is in a
+   [finally] so even a crashing worker counts down before dying — the
+   master can always join; and a crash records a {!Fault.Pool_error}
+   in the worker's exception slot so its chunk is reported, never
+   silently dropped. *)
 let run_on_team ~team run_thread =
   let ws = !workers in
   let exns = Array.make team None in
@@ -293,15 +408,50 @@ let run_on_team ~team run_thread =
     ignore (Atomic.fetch_and_add busy (now_ns () - t0))
   in
   for t = 1 to team - 1 do
-    let mb = ws.(t - 1).mb in
+    let w = ws.(t - 1) in
     let job () =
-      timed t ();
-      latch_down latch
+      Fun.protect
+        ~finally:(fun () -> latch_down latch)
+        (fun () ->
+          if Faultinject.crash_worker ~worker:(t - 1) then begin
+            exns.(t) <-
+              Some
+                (Fault.Pool_error
+                   (Printf.sprintf
+                      "worker %d died mid-region (injected crash); chunk of \
+                       thread %d not executed"
+                      (t - 1) t));
+            (* mark the death before the latch releases (in [finally]):
+               the master may enter the next region the instant the
+               join completes, and must see [dead_flag] there *)
+            Atomic.set w.alive false;
+            Atomic.set death_note
+              (Printf.sprintf "injected kill-worker:%d" (t - 1));
+            Atomic.set dead_flag true;
+            (* escapes the mailbox loop: the worker domain dies and the
+               supervisor respawns it at the next region entry *)
+            raise (Faultinject.Injected (Printf.sprintf "kill-worker:%d" (t - 1)))
+          end;
+          timed t ())
     in
-    Mutex.lock mb.mu;
-    mb.task <- Some job;
-    Condition.signal mb.cv;
-    Mutex.unlock mb.mu
+    if not (Atomic.get w.alive) then begin
+      (* raced with a dying worker (its death not yet reaped): don't
+         post to a mailbox nobody drains — record the lost chunk and
+         release its latch slot ourselves so the join can't hang *)
+      exns.(t) <-
+        Some
+          (Fault.Pool_error
+             (Printf.sprintf
+                "worker %d dead at dispatch; chunk of thread %d not executed"
+                (t - 1) t));
+      latch_down latch
+    end
+    else begin
+      Mutex.lock w.mb.mu;
+      w.mb.task <- Some job;
+      Condition.signal w.mb.cv;
+      Mutex.unlock w.mb.mu
+    end
   done;
   timed 0 ();
   latch_wait latch;
@@ -324,6 +474,17 @@ let run_spawned ~team run_thread =
   Array.iter Domain.join doms;
   exns
 
+(* Degraded-mode execution: every logical thread's chunks run on the
+   master domain, in thread order.  Chunk assignment — and therefore
+   reduction combining order — is identical to the pooled run, so
+   results match bit-for-bit; only the parallelism is gone. *)
+let run_sequential ~team run_thread =
+  let exns = Array.make team None in
+  for t = 0 to team - 1 do
+    try run_thread t with e -> exns.(t) <- Some e
+  done;
+  exns
+
 (** Run [body t chunk_lo chunk_hi] over the inclusive range [lo..hi]
     on a team of [threads] logical threads (default
     {!num_threads}), under schedule [sched] (default
@@ -336,39 +497,69 @@ let run ?threads ?(sched = Sched.default) ~lo ~hi body =
   let n = match threads with Some n -> max 1 n | None -> num_threads () in
   let total = hi - lo + 1 in
   if total <= 0 then ()  (* empty iteration space: no dispatch at all *)
-  else if n = 1 || total = 1 then begin
-    (* single-chunk fast path: no team, no barrier *)
-    Atomic.incr c_inline;
-    Atomic.incr c_tasks;
-    body 0 lo hi
-  end
   else begin
-    let team, run_thread = plan ~sched ~lo ~hi n body in
-    if team <= 1 then begin
+    (* may raise Faultinject.Injected (fail-region directive) *)
+    let region = Faultinject.enter_region () in
+    (* chunk-boundary poll points: cooperative cancellation (deadline
+       watchdog) and injected chunk delays; one atomic load each when
+       no token/plan is installed *)
+    let body t clo chi =
+      Fault.check_current ();
+      Faultinject.chunk_delay ~region;
+      body t clo chi
+    in
+    if n = 1 || total = 1 then begin
+      (* single-chunk fast path: no team, no barrier *)
       Atomic.incr c_inline;
-      run_thread 0
-    end
-    else if Domain.DLS.get in_worker then begin
-      Atomic.incr c_spawn;
-      reraise_first (run_spawned ~team run_thread)
+      Atomic.incr c_tasks;
+      body 0 lo hi
     end
     else begin
-      ensure_workers (team - 1);
-      let resident = pool_size () in
-      if team - 1 > resident || not (Mutex.try_lock region_lock) then begin
-        (* pool exhausted or another region is in flight *)
+      let team, run_thread = plan ~sched ~lo ~hi n body in
+      if team <= 1 then begin
+        Atomic.incr c_inline;
+        run_thread 0
+      end
+      else if Atomic.get degraded_reason <> None then begin
+        (* degraded: resident team retired, domains suspect — run the
+           same chunk plan sequentially on the master *)
+        Atomic.incr c_seq;
+        reraise_first (run_sequential ~team run_thread)
+      end
+      else if Domain.DLS.get in_worker then begin
         Atomic.incr c_spawn;
         reraise_first (run_spawned ~team run_thread)
       end
       else begin
-        let t0 = now_ns () in
-        let exns, busy =
-          Fun.protect
-            ~finally:(fun () -> Mutex.unlock region_lock)
-            (fun () -> run_on_team ~team run_thread)
-        in
-        record_region ~wall_ns:(now_ns () - t0) ~busy_ns:busy ~team;
-        reraise_first exns
+        ensure_workers (team - 1);
+        let resident = pool_size () in
+        if team - 1 > resident || not (Mutex.try_lock region_lock) then begin
+          (* pool exhausted or another region is in flight *)
+          Atomic.incr c_spawn;
+          reraise_first (run_spawned ~team run_thread)
+        end
+        else begin
+          let outcome =
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock region_lock)
+              (fun () ->
+                (* reap/respawn workers that died in an earlier region;
+                   may flip the pool to degraded mode *)
+                heal_workers ();
+                if Atomic.get degraded_reason <> None then `Degraded
+                else begin
+                  let t0 = now_ns () in
+                  let exns, busy = run_on_team ~team run_thread in
+                  record_region ~wall_ns:(now_ns () - t0) ~busy_ns:busy ~team;
+                  `Done exns
+                end)
+          in
+          match outcome with
+          | `Done exns -> reraise_first exns
+          | `Degraded ->
+            Atomic.incr c_seq;
+            reraise_first (run_sequential ~team run_thread)
+        end
       end
     end
   end

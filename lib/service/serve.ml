@@ -16,7 +16,16 @@
       dot(1000)
     ]}
     Arguments are integer or real literals.  Blank lines and lines
-    starting with [#] are skipped. *)
+    starting with [#] are skipped.
+
+    Fault tolerance (PR 3): {!run_call} returns
+    [(outcome, Fault.t) result] instead of raising — one bad call
+    (runtime error, per-call deadline, injected or real worker-pool
+    failure) is classified by the {!Fault} taxonomy and the batch
+    keeps serving.  {!run_calls} collects a per-batch fault summary
+    (counts by class, first few messages) and supports abort-after-K
+    ([max_errors]) and retry-with-backoff for transient faults
+    ([retries]). *)
 
 open Glaf_fortran
 open Glaf_runtime
@@ -39,14 +48,16 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '_'
 
-let parse_arg ln s =
+let parse_arg ln pos s =
   let s = String.trim s in
-  match int_of_string_opt s with
-  | Some n -> Ast.Int_lit n
-  | None -> (
-    match float_of_string_opt s with
-    | Some x -> Ast.Real_lit (x, true)
-    | None -> calls_error ln "argument %S is not an integer or real literal" s)
+  if s = "" then calls_error ln "empty argument slot (position %d)" pos
+  else
+    match int_of_string_opt s with
+    | Some n -> Ast.Int_lit n
+    | None -> (
+      match float_of_string_opt s with
+      | Some x -> Ast.Real_lit (x, true)
+      | None -> calls_error ln "argument %S is not an integer or real literal" s)
 
 let parse_call ln line =
   match String.index_opt line '(' with
@@ -59,14 +70,21 @@ let parse_call ln line =
     let name = String.trim (String.sub line 0 op) in
     if name = "" || not (String.for_all is_ident_char name) then
       calls_error ln "bad function name %S" (String.trim (String.sub line 0 op));
-    let rest = String.sub line (op + 1) (String.length line - op - 1) in
-    let rest = String.trim rest in
-    if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
-      calls_error ln "missing ')' in call to %s" name;
-    let inside = String.trim (String.sub rest 0 (String.length rest - 1)) in
+    let cp =
+      match String.rindex_opt line ')' with
+      | None -> calls_error ln "missing ')' in call to %s" name
+      | Some cp -> cp
+    in
+    let trailing =
+      String.trim (String.sub line (cp + 1) (String.length line - cp - 1))
+    in
+    if trailing <> "" then
+      calls_error ln "trailing text %S after ')' in call to %s" trailing name;
+    let inside = String.trim (String.sub line (op + 1) (cp - op - 1)) in
     let args =
       if inside = "" then []
-      else List.map (parse_arg ln) (String.split_on_char ',' inside)
+      else List.mapi (fun i a -> parse_arg ln (i + 1) a)
+             (String.split_on_char ',' inside)
     in
     { cl_line = ln; cl_name = name; cl_args = args }
 
@@ -103,6 +121,27 @@ let compile gpi_text =
   in
   { co_source = src; co_unit = Parser.parse_string src }
 
+(** Non-raising {!compile}: script errors come back as [Parse_fault],
+    failures of the analysis/codegen/reparse stages as
+    [Analysis_fault]. *)
+let compile_result gpi_text =
+  match compile gpi_text with
+  | c -> Ok c
+  | exception Glaf_builder.Gpi_script.Script_error (line, reason) ->
+    Error (Fault.Parse_fault { line; reason })
+  | exception Parser.Parse_error (line, reason) ->
+    Error
+      (Fault.Analysis_fault
+         { reason = Printf.sprintf "generated source line %d: %s" line reason })
+  | exception e -> Error (Fault.Analysis_fault { reason = Printexc.to_string e })
+
+(** Non-raising {!parse_calls}. *)
+let parse_calls_result text =
+  match parse_calls text with
+  | calls -> Ok calls
+  | exception Calls_error (line, reason) ->
+    Error (Fault.Parse_fault { line; reason })
+
 (* --- serve -------------------------------------------------------------- *)
 
 (** Result of one served invocation. *)
@@ -113,54 +152,192 @@ type outcome = {
   oc_time_s : float;  (** wall-clock seconds for this invocation *)
 }
 
+(* Map an exception escaping one interpreted call to the structured
+   taxonomy.  Anything unrecognised still becomes a runtime fault:
+   one bad call must never take the batch down. *)
+let classify_exn (call : call) (e : exn) : Fault.t =
+  let name = call.cl_name and line = call.cl_line in
+  match e with
+  | Fault.Cancelled reason -> Fault.Timeout_fault { call = name; line; reason }
+  | Fault.Pool_error reason -> Fault.Pool_fault { call = name; line; reason }
+  | Glaf_interp.Interp.Fortran_error reason ->
+    Fault.Runtime_fault { call = name; line; reason }
+  | Value.Runtime_error reason ->
+    Fault.Runtime_fault { call = name; line; reason }
+  | Farray.Bounds_error reason ->
+    Fault.Runtime_fault { call = name; line; reason = "array bounds: " ^ reason }
+  | Faultinject.Injected what ->
+    Fault.Runtime_fault { call = name; line; reason = "injected fault: " ^ what }
+  | Glaf_interp.Interp.Stop_program msg ->
+    Fault.Runtime_fault
+      {
+        call = name;
+        line;
+        reason =
+          (match msg with Some m -> "STOP: " ^ m | None -> "STOP reached");
+      }
+  | Stack_overflow ->
+    Fault.Runtime_fault { call = name; line; reason = "stack overflow" }
+  | e ->
+    Fault.Runtime_fault { call = name; line; reason = Printexc.to_string e }
+
+let run_call_once ?threads ?sched ?deadline_s compiled call =
+  let buf = Buffer.create 64 in
+  let token = Fault.make_token ?deadline_s () in
+  match
+    Fault.with_token token (fun () ->
+        let st =
+          Glaf_interp.Interp.make_state ~printer:(Buffer.add_string buf)
+            compiled.co_unit
+        in
+        (match threads with
+        | Some n -> Glaf_interp.Interp.set_threads st n
+        | None -> ());
+        (match sched with
+        | Some s -> Glaf_interp.Interp.set_schedule st s
+        | None -> ());
+        let t0 = Unix.gettimeofday () in
+        let v = Glaf_interp.Interp.call st call.cl_name call.cl_args in
+        let t1 = Unix.gettimeofday () in
+        {
+          oc_call = call;
+          oc_value = v;
+          oc_output = Buffer.contents buf;
+          oc_time_s = t1 -. t0;
+        })
+  with
+  | oc -> Ok oc
+  | exception e -> Error (classify_exn call e)
+
 (** Run one call on a {e fresh} interpreter state (per-invocation grid
     isolation: SAVE variables, module data and allocations of one call
-    are invisible to the next).
-    @raise Glaf_interp.Interp.Fortran_error on runtime errors. *)
-let run_call ?threads ?sched compiled call =
-  let buf = Buffer.create 64 in
-  let st =
-    Glaf_interp.Interp.make_state ~printer:(Buffer.add_string buf)
-      compiled.co_unit
+    are invisible to the next).  Never raises: failures come back as a
+    classified {!Fault.t}.
+
+    [deadline_s] installs a per-call watchdog token polled at pool
+    chunk boundaries and interpreter loop iterations — a runaway
+    kernel returns [Timeout_fault] instead of wedging the batch.
+    [retries] re-runs calls that failed with a {e transient} fault
+    ({!Fault.is_transient}: pool, timeout) up to that many extra
+    times, sleeping [backoff_s * 2^attempt] between tries (the pool
+    heals dead workers at the next region entry, so a post-crash retry
+    normally succeeds). *)
+let run_call ?threads ?sched ?deadline_s ?(retries = 0) ?(backoff_s = 0.05)
+    compiled call =
+  let rec go attempt =
+    match run_call_once ?threads ?sched ?deadline_s compiled call with
+    | Ok _ as ok -> ok
+    | Error f when attempt < retries && Fault.is_transient f ->
+      Unix.sleepf (backoff_s *. (2.0 ** float_of_int attempt));
+      go (attempt + 1)
+    | Error _ as err -> err
   in
-  (match threads with
-  | Some n -> Glaf_interp.Interp.set_threads st n
-  | None -> ());
-  (match sched with
-  | Some s -> Glaf_interp.Interp.set_schedule st s
-  | None -> ());
-  let t0 = Unix.gettimeofday () in
-  let v = Glaf_interp.Interp.call st call.cl_name call.cl_args in
-  let t1 = Unix.gettimeofday () in
+  go 0
+
+(** Per-batch fault report. *)
+type batch = {
+  b_results : (call * (outcome, Fault.t) result) list;
+      (** served calls in file order (skipped calls excluded) *)
+  b_ok : int;
+  b_failed : int;
+  b_skipped : int;  (** calls never attempted after a [max_errors] abort *)
+  b_by_class : (Fault.cls * int) list;  (** non-zero classes, descending *)
+  b_first_faults : Fault.t list;  (** first {!max_reported_faults} faults *)
+  b_aborted : bool;
+}
+
+let max_reported_faults = 5
+
+(** Serve a batch of calls in file order.  A failing call is recorded
+    and serving {e continues} with the next call; [max_errors] aborts
+    the remainder of the batch once that many calls have failed
+    ([b_skipped]/[b_aborted] report the cut).  [on_result] streams
+    each result as it is produced (the CLI prints from it). *)
+let run_calls ?threads ?sched ?deadline_s ?retries ?backoff_s ?max_errors
+    ?(on_result = fun _ _ -> ()) compiled calls =
+  let results = ref [] and ok = ref 0 and failed = ref 0 in
+  let faults = ref [] in
+  let rec serve = function
+    | [] -> []
+    | call :: rest ->
+      let r = run_call ?threads ?sched ?deadline_s ?retries ?backoff_s compiled call in
+      (match r with
+      | Ok _ -> incr ok
+      | Error f ->
+        incr failed;
+        faults := f :: !faults);
+      results := (call, r) :: !results;
+      on_result call r;
+      let aborted =
+        match max_errors with Some k -> !failed >= k | None -> false
+      in
+      if aborted then rest else serve rest
+  in
+  let skipped = serve calls in
+  let faults = List.rev !faults in
+  let by_class =
+    List.filter_map
+      (fun c ->
+        match List.length (List.filter (fun f -> Fault.cls_of f = c) faults) with
+        | 0 -> None
+        | n -> Some (c, n))
+      Fault.all_classes
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
   {
-    oc_call = call;
-    oc_value = v;
-    oc_output = Buffer.contents buf;
-    oc_time_s = t1 -. t0;
+    b_results = List.rev !results;
+    b_ok = !ok;
+    b_failed = !failed;
+    b_skipped = List.length skipped;
+    b_by_class = by_class;
+    b_first_faults =
+      List.filteri (fun i _ -> i < max_reported_faults) faults;
+    b_aborted = skipped <> [];
   }
 
-(** Serve a batch of calls in file order. *)
-let run_calls ?threads ?sched compiled calls =
-  List.map (run_call ?threads ?sched compiled) calls
+let pp_args ppf = function
+  | [] -> Format.pp_print_string ppf "()"
+  | args ->
+    Format.fprintf ppf "(%s)"
+      (String.concat ", " (List.map Pp_ast.expr_to_string args))
 
 let pp_outcome ppf oc =
-  Format.fprintf ppf "%s%s -> %s  (%.3f ms)"
-    oc.oc_call.cl_name
-    (match oc.oc_call.cl_args with
-    | [] -> "()"
-    | args ->
-      "("
-      ^ String.concat ", "
-          (List.map
-             (function
-               | Ast.Int_lit n -> string_of_int n
-               | Ast.Real_lit (x, _) -> string_of_float x
-               | _ -> "?")
-             args)
-      ^ ")")
+  Format.fprintf ppf "[line %d] %s%a -> %s  (%.3f ms)"
+    oc.oc_call.cl_line oc.oc_call.cl_name pp_args oc.oc_call.cl_args
     (match oc.oc_value with
     | Some v -> Value.to_string v
     | None -> "(subroutine completed)")
     (oc.oc_time_s *. 1e3);
   if oc.oc_output <> "" then
     Format.fprintf ppf "@\n%s" (String.trim oc.oc_output)
+
+(** One-line summary plus the first few fault messages, e.g. after a
+    partially-failed batch. *)
+let pp_batch_summary ppf b =
+  Format.fprintf ppf "batch: %d ok, %d failed%s of %d calls"
+    b.b_ok b.b_failed
+    (if b.b_skipped > 0 then Printf.sprintf ", %d skipped (batch aborted)" b.b_skipped
+     else "")
+    (b.b_ok + b.b_failed + b.b_skipped);
+  if b.b_by_class <> [] then begin
+    Format.fprintf ppf "@\nfaults by class:";
+    List.iter
+      (fun (c, n) -> Format.fprintf ppf " %s:%d" (Fault.cls_name c) n)
+      b.b_by_class;
+    Format.fprintf ppf "@\nfirst faults:";
+    List.iter
+      (fun f -> Format.fprintf ppf "@\n  %s" (Fault.to_string f))
+      b.b_first_faults
+  end
+
+(** Machine-readable batch summary (same fault shape as
+    {!Fault.to_json}). *)
+let batch_to_json b =
+  Printf.sprintf
+    "{\"ok\":%d,\"failed\":%d,\"skipped\":%d,\"aborted\":%b,\"by_class\":{%s},\"faults\":[%s]}"
+    b.b_ok b.b_failed b.b_skipped b.b_aborted
+    (String.concat ","
+       (List.map
+          (fun (c, n) -> Printf.sprintf "\"%s\":%d" (Fault.cls_name c) n)
+          b.b_by_class))
+    (String.concat "," (List.map Fault.to_json b.b_first_faults))

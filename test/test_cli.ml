@@ -146,7 +146,113 @@ let test_serve_batch () =
            "%s serve %s/quad_sweep.gpi --calls %s --schedule bogus" exe scripts
            (Filename.quote calls))
     in
-    check_bool "bad schedule exits nonzero" true (rc <> 0)
+    check_bool "bad schedule is a usage error" true (rc = 2)
+  end
+
+(* Exit-code contract: 0 success, 1 diagnosed failure with a one-line
+   stderr diagnostic (never an OCaml backtrace), 2 usage error. *)
+let test_exit_codes () =
+  require_available ();
+  begin
+    (* missing required argument -> usage error *)
+    let rc, _ = run_capture (Printf.sprintf "%s compile" exe) in
+    check_bool "missing arg exits 2" true (rc = 2);
+    let rc, out =
+      run_capture
+        (Printf.sprintf "%s compile %s/saxpy.gpi --policy v9" exe scripts)
+    in
+    check_bool "unknown policy exits 2" true (rc = 2);
+    check_bool "policy diagnostic" true (contains out "unknown policy");
+    (* diagnosed runtime failure -> exit 1, one-line diagnostic *)
+    let rc, out =
+      run_capture (Printf.sprintf "%s run %s/saxpy.gpi --call nope" exe scripts)
+    in
+    check_bool "runtime failure exits 1" true (rc = 1);
+    check_bool "diagnostic names the failure" true
+      (contains out "oglaf: runtime error");
+    check_bool "no backtrace leaks" false
+      (contains out "Raised at" || contains out "Fatal error");
+    (* malformed calls file -> exit 1, diagnostic carries the line *)
+    let calls = Filename.temp_file "oglaf_badcalls" ".txt" in
+    let oc = open_out calls in
+    output_string oc "pi_mid(1,,2)\n";
+    close_out oc;
+    let rc, out =
+      run_capture
+        (Printf.sprintf "%s serve %s/quad_sweep.gpi --calls %s" exe scripts
+           (Filename.quote calls))
+    in
+    check_bool "bad calls file exits 1" true (rc = 1);
+    check_bool "names the line and slot" true
+      (contains out "calls error at line 1"
+      && contains out "empty argument slot")
+  end
+
+let test_serve_fault_injection () =
+  require_available ();
+  begin
+    let calls = Filename.temp_file "oglaf_inject" ".txt" in
+    let oc = open_out calls in
+    output_string oc "pi_mid(1000)\npi_mid(1000)\npi_mid(1000)\n";
+    close_out oc;
+    (* each call runs one parallel region, so fail-region:2 fails
+       exactly the second call; the batch keeps serving *)
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s serve %s/quad_sweep.gpi --calls %s --threads 2 --inject \
+            fail-region:2"
+           exe scripts (Filename.quote calls))
+    in
+    check_bool "failed batch exits 1" true (rc = 1);
+    check_bool "fault line printed" true
+      (contains out "[FAULT]" && contains out "injected fault: fail-region:2");
+    check_bool "other calls still served" true (contains out "3.141");
+    check_bool "summary printed" true (contains out "2 ok, 1 failed");
+    check_bool "no backtrace leaks" false (contains out "Raised at");
+    (* a malformed plan is a usage error *)
+    let rc, out =
+      run_capture
+        (Printf.sprintf "%s serve %s/quad_sweep.gpi --calls %s --inject nope:1"
+           exe scripts (Filename.quote calls))
+    in
+    check_bool "bad plan exits 2" true (rc = 2);
+    check_bool "bad plan diagnostic" true (contains out "bad --inject plan")
+  end
+
+let test_serve_timeout_and_retry_flags () =
+  require_available ();
+  begin
+    let calls = Filename.temp_file "oglaf_deadline" ".txt" in
+    let oc = open_out calls in
+    (* first call would interpret 10^8 iterations (minutes): only the
+       deadline can end it; the second is trivially fast *)
+    output_string oc "pi_mid(100000000)\npi_mid(1000)\n";
+    close_out oc;
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s serve %s/quad_sweep.gpi --calls %s --threads 2 --timeout-ms \
+            200 --retry 0"
+           exe scripts (Filename.quote calls))
+    in
+    check_bool "timed-out batch exits 1" true (rc = 1);
+    check_bool "timeout fault reported" true (contains out "timeout fault");
+    check_bool "next call unaffected" true (contains out "3.141");
+    (* flag validation *)
+    let rc, _ =
+      run_capture
+        (Printf.sprintf
+           "%s serve %s/quad_sweep.gpi --calls %s --timeout-ms 0" exe scripts
+           (Filename.quote calls))
+    in
+    check_bool "zero timeout exits 2" true (rc = 2);
+    let rc, _ =
+      run_capture
+        (Printf.sprintf "%s serve %s/quad_sweep.gpi --calls %s --max-errors 0"
+           exe scripts (Filename.quote calls))
+    in
+    check_bool "zero max-errors exits 2" true (rc = 2)
   end
 
 let test_serve_calls_parser () =
@@ -192,6 +298,11 @@ let suites =
         Alcotest.test_case "run" `Quick test_run_function;
         Alcotest.test_case "serve batch" `Quick test_serve_batch;
         Alcotest.test_case "serve calls parser" `Quick test_serve_calls_parser;
+        Alcotest.test_case "exit codes" `Quick test_exit_codes;
+        Alcotest.test_case "serve fault injection" `Quick
+          test_serve_fault_injection;
+        Alcotest.test_case "serve timeout + flag validation" `Quick
+          test_serve_timeout_and_retry_flags;
         Alcotest.test_case "check legacy" `Quick test_check_against_legacy;
         Alcotest.test_case "sloc" `Quick test_sloc_command;
       ] );

@@ -10,6 +10,7 @@ let () =
          Test_codegen.suites;
          Test_workloads.suites;
          Test_runtime.suites;
+         Test_faults.suites;
          Test_perf_integration.suites;
          Test_cli.suites;
        ])

@@ -313,6 +313,28 @@ let test_pool_nested_region_falls_back () =
   check_bool "nested regions used spawn fallback" true
     ((Pool.stats ()).Pool.spawn_regions >= 1)
 
+let test_nested_region_exception_unwinds () =
+  (* an exception thrown in an inner (spawn-fallback) region must
+     unwind through the outer pooled region without poisoning the
+     resident team or flipping it to degraded mode *)
+  check_bool "inner exception reaches the caller" true
+    (match
+       Pool.run ~threads:2 ~lo:1 ~hi:2 (fun _ lo _ ->
+           Pool.run ~threads:2 ~lo:1 ~hi:10 (fun _ clo _ ->
+               if lo > 1 && clo > 1 then failwith "inner boom"))
+     with
+    | exception Failure msg -> msg = "inner boom"
+    | () -> false);
+  check_bool "pool still healthy" true (Pool.health () = Pool.Healthy);
+  (* both nesting levels still work after the unwind *)
+  let total = Atomic.make 0 in
+  Pool.run ~threads:2 ~lo:1 ~hi:2 (fun _ lo hi ->
+      for _ = lo to hi do
+        Pool.run ~threads:2 ~lo:1 ~hi:10 (fun _ clo chi ->
+            ignore (Atomic.fetch_and_add total (chi - clo + 1)))
+      done);
+  check_int "nested regions usable after exception" 20 (Atomic.get total)
+
 (* --- Zones ----------------------------------------------------------------- *)
 
 let test_zone_sizes_cosine () =
@@ -388,6 +410,8 @@ let suites =
           test_pool_reuse_many_regions;
         Alcotest.test_case "nested region fallback" `Quick
           test_pool_nested_region_falls_back;
+        Alcotest.test_case "nested exception unwinds" `Quick
+          test_nested_region_exception_unwinds;
       ] );
     ( "runtime.zones",
       [
