@@ -194,8 +194,8 @@ let schedule_arg =
     & opt (some string) None
     & info [ "schedule" ] ~docv:"S"
         ~doc:
-          "Default loop schedule for served calls: static, chunk:K or \
-           dynamic:K.")
+          "Default loop schedule for served calls: static, chunk:K, \
+           dynamic:K or guided[:K].")
 
 let stats_flag =
   Arg.(
@@ -219,6 +219,15 @@ let retry_arg =
           "Retry a call up to N extra times (exponential backoff) when it \
            failed with a transient fault (pool, timeout).")
 
+let concurrency_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "concurrency" ] ~docv:"N"
+        ~doc:
+          "Overlap up to N independent calls across the worker pool \
+           (default 1: serve sequentially). Results are still reported \
+           in calls-file order.")
+
 let max_errors_arg =
   Arg.(
     value
@@ -238,7 +247,7 @@ let inject_arg =
 
 let serve_cmd =
   let run script calls_file threads sched_s stats timeout_ms retries max_errors
-      inject =
+      concurrency inject =
     protect @@ fun () ->
     let sched =
       match sched_s with
@@ -247,9 +256,12 @@ let serve_cmd =
         match Glaf_runtime.Sched.of_string s with
         | Some sc -> Some sc
         | None ->
-          usage_die "unknown schedule %s (expected static, chunk:K or dynamic:K)"
+          usage_die
+            "unknown schedule %s (expected static, chunk:K, dynamic:K or \
+             guided[:K])"
             s)
     in
+    if concurrency < 1 then usage_die "--concurrency must be >= 1";
     (match inject with
     | None -> ()
     | Some plan -> (
@@ -270,8 +282,8 @@ let serve_cmd =
     let calls = Glaf_service.Serve.parse_calls (read_file calls_file) in
     Glaf_runtime.Pool.reset_stats ();
     let batch =
-      Glaf_service.Serve.run_calls ?threads ?sched ?deadline_s ~retries
-        ?max_errors
+      Glaf_service.Serve.run_calls ~concurrency ?threads ?sched ?deadline_s
+        ~retries ?max_errors
         ~on_result:(fun _call r ->
           match r with
           | Ok oc -> Format.printf "%a@." Glaf_service.Serve.pp_outcome oc
@@ -294,7 +306,8 @@ let serve_cmd =
           from it")
     Term.(
       const run $ script_arg $ calls_arg $ serve_threads_arg $ schedule_arg
-      $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg $ inject_arg)
+      $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg
+      $ concurrency_arg $ inject_arg)
 
 (* --- check -------------------------------------------------------------- *)
 

@@ -333,25 +333,39 @@ let parse_whole_expr ps =
   | None -> ());
   e
 
-(* The [schedule] clause of [foreach]: [static], [chunk:<k>] or
-   [dynamic:<k>], mapping to the runtime pool's loop schedules. *)
+(* The [schedule] clause of [foreach]: [static], [chunk:<k>],
+   [dynamic:<k>] or [guided[:<k>]], mapping to the runtime pool's loop
+   schedules.  [guided] without a chunk means the OpenMP default floor
+   of 1. *)
 let parse_schedule ps =
+  let next_is_colon ps =
+    ps.pos + 1 < Array.length ps.toks && ps.toks.(ps.pos + 1) = Top ":"
+  in
   match peek ps with
   | Some (Tid "static") ->
     advance ps;
     Stmt.Sched_static
-  | Some (Tid (("chunk" | "dynamic") as kind)) -> (
+  | Some (Tid "guided") when not (next_is_colon ps) ->
+    advance ps;
+    Stmt.Sched_guided 1
+  | Some (Tid (("chunk" | "dynamic" | "guided") as kind)) -> (
     advance ps;
     expect_op ps ":";
     match peek ps with
     | Some (Tint k) when k >= 1 ->
       advance ps;
-      if kind = "chunk" then Stmt.Sched_static_chunk k else Stmt.Sched_dynamic k
+      (match kind with
+      | "chunk" -> Stmt.Sched_static_chunk k
+      | "dynamic" -> Stmt.Sched_dynamic k
+      | _ -> Stmt.Sched_guided k)
     | _ -> fail ps.line "schedule %s: expects a positive chunk size" kind)
   | Some t ->
-    fail ps.line "unknown schedule %S (expected static, chunk:<k> or dynamic:<k>)"
+    fail ps.line
+      "unknown schedule %S (expected static, chunk:<k>, dynamic:<k> or \
+       guided[:<k>])"
       (token_text t)
-  | None -> fail ps.line "schedule expects static, chunk:<k> or dynamic:<k>"
+  | None ->
+    fail ps.line "schedule expects static, chunk:<k>, dynamic:<k> or guided[:<k>]"
 
 (* --- grid declarations -------------------------------------------------- *)
 

@@ -120,6 +120,9 @@ let gen_directive_pragma (d : Stmt.directive) =
     Buffer.add_string clauses (Printf.sprintf " schedule(static, %d)" k)
   | Some (Stmt.Sched_dynamic k) ->
     Buffer.add_string clauses (Printf.sprintf " schedule(dynamic, %d)" k)
+  | Some (Stmt.Sched_guided 1) -> Buffer.add_string clauses " schedule(guided)"
+  | Some (Stmt.Sched_guided k) ->
+    Buffer.add_string clauses (Printf.sprintf " schedule(guided, %d)" k)
   | None -> ());
   "#pragma omp parallel for" ^ Buffer.contents clauses
 

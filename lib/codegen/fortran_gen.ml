@@ -119,7 +119,8 @@ let gen_directive (d : Stmt.directive) : Ast.omp_do =
         (function
           | Stmt.Sched_static -> Ast.Static
           | Stmt.Sched_static_chunk k -> Ast.Static_chunk k
-          | Stmt.Sched_dynamic k -> Ast.Dynamic k)
+          | Stmt.Sched_dynamic k -> Ast.Dynamic k
+          | Stmt.Sched_guided k -> Ast.Guided k)
         d.Stmt.schedule;
   }
 

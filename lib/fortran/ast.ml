@@ -69,7 +69,7 @@ type omp_schedule =
   | Static  (** default static chunking, no chunk argument *)
   | Static_chunk of int  (** [schedule(static, k)] *)
   | Dynamic of int  (** [schedule(dynamic[, k])], default chunk 1 *)
-  | Guided
+  | Guided of int  (** [schedule(guided[, k])], floor chunk, default 1 *)
 [@@deriving show { with_path = false }, eq]
 
 type omp_reduction_op =

@@ -340,7 +340,7 @@ let parse_omp_clauses c =
         | "static", None -> Static
         | "static", Some k -> Static_chunk k
         | "dynamic", k -> Dynamic (Option.value k ~default:1)
-        | "guided", _ -> Guided
+        | "guided", k -> Guided (Option.value k ~default:1)
         | s, _ -> fail c.lineno "unknown schedule %S" s
       in
       expect c Lexer.Rparen ")";

@@ -175,7 +175,8 @@ let omp_clause_string (d : omp_do) =
   | Some Static -> buf_add b " schedule(static)"
   | Some (Static_chunk k) -> buf_add b (Printf.sprintf " schedule(static, %d)" k)
   | Some (Dynamic k) -> buf_add b (Printf.sprintf " schedule(dynamic, %d)" k)
-  | Some Guided -> buf_add b " schedule(guided)"
+  | Some (Guided 1) -> buf_add b " schedule(guided)"
+  | Some (Guided k) -> buf_add b (Printf.sprintf " schedule(guided, %d)" k)
   | None -> ());
   if d.omp_copyprivate <> [] then
     buf_add b (" copyprivate(" ^ String.concat ", " d.omp_copyprivate ^ ")");

@@ -905,9 +905,7 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     | Some Ast.Static -> Sched.Static
     | Some (Ast.Static_chunk k) -> Sched.Static_chunked k
     | Some (Ast.Dynamic k) -> Sched.Dynamic k
-    | Some Ast.Guided ->
-      (* the pool has no guided scheduler; dynamic is the closest *)
-      Sched.Dynamic 1
+    | Some (Ast.Guided k) -> Sched.Guided k
     | None -> st.default_sched
   in
   (* collapse(2): fuse with the unique inner loop *)

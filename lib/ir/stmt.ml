@@ -19,6 +19,7 @@ type sched =
   | Sched_static  (** contiguous per-thread blocks; the default *)
   | Sched_static_chunk of int  (** [schedule(static, k)] round-robin *)
   | Sched_dynamic of int  (** [schedule(dynamic, k)] work pulling *)
+  | Sched_guided of int  (** [schedule(guided, k)] decaying chunks *)
 [@@deriving show { with_path = false }, eq, ord]
 
 (** An OpenMP-style parallel-loop directive, as attached by the

@@ -168,19 +168,31 @@ let check tk =
   else if tk.tk_deadline < infinity && now_s () > tk.tk_deadline then
     raise (Cancelled (Printf.sprintf "deadline of %gs exceeded" tk.tk_budget_s))
 
-(* The ambient token.  One serving call is in flight at a time (calls
-   are served in file order), so a single slot suffices; it is an
-   Atomic so pool workers on other domains observe it. *)
-let ambient : token option Atomic.t = Atomic.make None
+(* The ambient token is per-domain: with concurrent batch serving
+   several calls are in flight at once, each on its own slot domain
+   with its own deadline, so a process-global slot would let one
+   call's deadline cancel another.  The pool captures the caller's
+   token at region entry and re-installs it (via {!with_token_opt})
+   around every chunk task it runs on a worker or spawned domain, so
+   a chunk polls the deadline of the call it belongs to wherever it
+   executes. *)
+let ambient : token option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let current () = Atomic.get ambient
+let current () = Domain.DLS.get ambient
 
-(** Run [f] with [tk] installed as the ambient token (restored on
-    exit); the pool and interpreter poll it via {!check_current}. *)
+(** Run [f] with [tk] installed as this domain's ambient token
+    (restored on exit); the pool and interpreter poll it via
+    {!check_current}. *)
 let with_token tk f =
-  let prev = Atomic.exchange ambient (Some tk) in
-  Fun.protect ~finally:(fun () -> Atomic.set ambient prev) f
+  let prev = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (Some tk);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient prev) f
+
+(** [with_token_opt (current ()) f] run on another domain propagates
+    the caller's cancellation context there; [None] is a plain call. *)
+let with_token_opt tko f =
+  match tko with None -> f () | Some tk -> with_token tk f
 
 (** Poll point: cheap no-op when no token is installed. *)
 let check_current () =
-  match Atomic.get ambient with None -> () | Some tk -> check tk
+  match Domain.DLS.get ambient with None -> () | Some tk -> check tk

@@ -10,7 +10,10 @@
       fail-region:K          raise in the K-th parallel region (1-based,
                              counted across the process since set_plan)
       delay-chunk:K:MS       sleep MS milliseconds in every chunk of
-                             the K-th region (drives deadline tests)
+                             the K-th region (drives deadline tests);
+                             K = 0 delays every region (models
+                             latency-bound kernels for serve-overlap
+                             benchmarks)
       kill-worker:I[:N]      resident worker I dies when it next
                              receives a task, N times (default 1)
     ]}
@@ -46,7 +49,7 @@ let parse_plan s : (directive list, string) result =
       | _ -> Error (Printf.sprintf "bad region index in %S" d))
     | [ "delay-chunk"; k; ms ] -> (
       match (int_of_string_opt k, float_of_string_opt ms) with
-      | Some k, Some ms when k >= 1 && ms >= 0.0 ->
+      | Some k, Some ms when k >= 0 && ms >= 0.0 ->
         Ok (Delay_chunk { region = k; delay_s = ms /. 1e3 })
       | _ -> Error (Printf.sprintf "bad delay directive %S" d))
     | [ "kill-worker"; i ] -> (
@@ -131,14 +134,19 @@ let enter_region () =
     r
 
 (** Chunk-dispatch hook: sleep if a [delay-chunk] directive targets
-    [region] (the index {!enter_region} returned). *)
+    [region] (the index {!enter_region} returned) or every region
+    (directive key 0). *)
 let chunk_delay ~region =
   match Atomic.get state with
   | None -> ()
   | Some p -> (
-    match List.assoc_opt region p.delays with
-    | Some d when d > 0.0 -> Unix.sleepf d
-    | _ -> ())
+    let delay k =
+      match List.assoc_opt k p.delays with
+      | Some d when d > 0.0 -> Unix.sleepf d
+      | _ -> ()
+    in
+    delay region;
+    delay 0)
 
 (** Task-receipt hook: [true] when resident worker [worker] (0-based)
     should crash now; each [kill-worker] directive fires [times]

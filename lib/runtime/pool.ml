@@ -4,8 +4,20 @@
     parallel regions; entering a region is a handful of condition
     signals, not thread creation.  This module reproduces that:
     worker domains are created once (lazily, on first use) and every
-    subsequent [run] dispatches chunk closures to the resident team
-    through per-worker mailboxes and joins them on a countdown latch.
+    subsequent [run] dispatches chunk tasks to the resident team.
+
+    Dispatch (PR 5) is a top-level task queue rather than a
+    one-region-at-a-time team: each region enqueues one task per
+    logical thread (minus the master, which runs thread 0 inline) and
+    joins them on a countdown latch.  Workers pull tasks from a global
+    FIFO, so {e concurrent} regions — one per in-flight [oglaf serve
+    --concurrency] call — multiplex onto the same resident workers
+    instead of falling back to spawn-per-region domains.  Tasks of
+    [Static] regions are pinned to the worker that executed the same
+    chunk index in the previous static region (per-worker chunk
+    affinity: repeated sweeps over the same grids re-touch warm
+    caches); pinned tasks are never stolen, so the chunk-to-worker map
+    of identical back-to-back regions is deterministic.
 
     Sizing: the default team size comes from {!set_num_threads} or the
     [OGLAF_NUM_THREADS] environment variable (falling back to
@@ -14,30 +26,37 @@
     threads on a 4-core box oversubscribes exactly like the paper's
     8-thread runs.
 
-    Nested regions: a [run] issued from inside a pool worker (or while
-    another region holds the pool) falls back to spawn-per-region
-    domains, reproducing the documented oversubscription behaviour of
-    nested [PARALLEL DO] — the pool never deadlocks on itself.
+    Nested regions: a [run] issued from inside a pool worker falls
+    back to spawn-per-region domains, reproducing the documented
+    oversubscription behaviour of nested [PARALLEL DO] — a worker
+    never waits on the queue it is supposed to drain, so the pool
+    cannot deadlock on itself.  (Top-level regions issued while the
+    pool is busy now queue instead of spawning; only regions {e from
+    inside} a worker take the fallback.)
 
     Supervision (PR 3): a worker domain that dies with an unhandled
-    exception is detected at the next region entry and respawned; the
-    region it was serving fails with {!Fault.Pool_error} (the chunk is
-    reported, never silently dropped, and the countdown latch is
-    always released so the master cannot deadlock on the join).  When
-    deaths exceed the respawn budget ({!set_max_respawns}) the pool
-    degrades: the resident team is retired and subsequent regions run
-    their chunk plan {e sequentially} on the master domain, in thread
-    order — identical chunk assignment, identical results, no
-    parallelism.  {!health} reports the mode and is part of {!stats}.
+    exception drains its own affinity queue on the way out (each
+    pending task is reported as {!Fault.Pool_error} and its latch slot
+    released, so no join can hang on a corpse) and is respawned at the
+    next region entry; when deaths exceed the respawn budget
+    ({!set_max_respawns}) the pool degrades: the resident team is
+    retired and subsequent regions run their chunk plan {e
+    sequentially} on the master domain, in thread order — identical
+    chunk assignment, identical results, no parallelism.  {!health}
+    reports the mode and is part of {!stats}.
 
-    Cancellation and fault injection: every chunk dispatch polls the
-    ambient {!Fault.check_current} token (cooperative deadlines for
-    [oglaf serve --timeout-ms]) and the {!Faultinject} hooks fire at
-    region entry, chunk dispatch and worker task receipt.
+    Cancellation and fault injection: the caller's ambient
+    {!Fault.current} token is captured at region entry and
+    re-installed around every chunk task wherever it runs, so each
+    task polls the deadline of the call it belongs to even when chunk
+    tasks of several served calls interleave on one worker; the
+    {!Faultinject} hooks fire at region entry, chunk dispatch and
+    worker task receipt.
 
     The runtime keeps lightweight counters ({!stats}) so the region
-    entry cost, schedule behaviour and worker utilisation are
-    observable ([oglaf serve --stats], [bench/main.exe pool]). *)
+    entry cost, schedule behaviour, region overlap and worker
+    utilisation are observable ([oglaf serve --stats],
+    [bench/main.exe pool]). *)
 
 (* --- team sizing -------------------------------------------------------- *)
 
@@ -85,6 +104,22 @@ let c_region_ns = Atomic.make 0
 let c_idle_ns = Atomic.make 0
 let c_hist = Array.init hist_buckets (fun _ -> Atomic.make 0)
 
+(* Region overlap gauge: how many pooled regions are in flight right
+   now, and the high-water mark (proof that [serve --concurrency]
+   actually multiplexes the pool instead of serialising). *)
+let c_inflight = Atomic.make 0
+let c_max_inflight = Atomic.make 0
+
+let enter_inflight () =
+  let n = 1 + Atomic.fetch_and_add c_inflight 1 in
+  let rec bump () =
+    let m = Atomic.get c_max_inflight in
+    if n > m && not (Atomic.compare_and_set c_max_inflight m n) then bump ()
+  in
+  bump ()
+
+let leave_inflight () = Atomic.decr c_inflight
+
 (** Pool operating mode: [Degraded] means the resident team has been
     retired after too many worker deaths and regions now run
     sequentially on the master domain. *)
@@ -94,7 +129,7 @@ type stats = {
   pool_size : int;  (** resident worker domains (excludes the master) *)
   regions : int;  (** regions dispatched to the resident team *)
   inline_regions : int;  (** regions run inline (1 thread or <= 1 iteration) *)
-  spawn_regions : int;  (** nested/contended regions on the spawn fallback *)
+  spawn_regions : int;  (** nested regions on the spawn fallback *)
   seq_regions : int;  (** regions run sequentially in degraded mode *)
   tasks : int;  (** chunk executions across all regions *)
   busy_ns : int;  (** summed in-body time across team members *)
@@ -102,6 +137,7 @@ type stats = {
   idle_ns : int;  (** summed [wall * team - busy]: wait at the join barrier *)
   hist : int array;  (** region wall times: < 1us, < 10us, ..., >= 1s *)
   respawns : int;  (** dead workers replaced by the supervisor *)
+  max_inflight : int;  (** peak number of concurrently pooled regions *)
   health : health;
 }
 
@@ -114,6 +150,7 @@ let reset_stats () =
   Atomic.set c_busy_ns 0;
   Atomic.set c_region_ns 0;
   Atomic.set c_idle_ns 0;
+  Atomic.set c_max_inflight (Atomic.get c_inflight);
   Array.iter (fun a -> Atomic.set a 0) c_hist
 
 let record_region ~wall_ns ~busy_ns ~team =
@@ -126,15 +163,16 @@ let record_region ~wall_ns ~busy_ns ~team =
 let pp_stats ppf s =
   Format.fprintf ppf
     "pool: %d resident workers, %s%s@\n\
-     regions: %d pooled, %d inline, %d spawn-fallback, %d sequential \
-     (degraded); %d chunk tasks@\n\
+     regions: %d pooled (peak %d overlapped), %d inline, %d spawn-fallback, \
+     %d sequential (degraded); %d chunk tasks@\n\
      time: %.3f ms busy / %.3f ms region wall / %.3f ms barrier idle@\n"
     s.pool_size
     (match s.health with
     | Healthy -> "healthy"
     | Degraded reason -> "DEGRADED (" ^ reason ^ ")")
     (if s.respawns > 0 then Printf.sprintf ", %d respawns" s.respawns else "")
-    s.regions s.inline_regions s.spawn_regions s.seq_regions s.tasks
+    s.regions s.max_inflight s.inline_regions s.spawn_regions s.seq_regions
+    s.tasks
     (float_of_int s.busy_ns /. 1e6)
     (float_of_int s.region_ns /. 1e6)
     (float_of_int s.idle_ns /. 1e6);
@@ -147,28 +185,79 @@ let pp_stats ppf s =
     s.hist;
   Format.pp_print_newline ppf ()
 
-(* --- resident workers --------------------------------------------------- *)
+(* --- regions, tasks and the latch ---------------------------------------- *)
 
-type mailbox = {
-  mu : Mutex.t;
-  cv : Condition.t;
-  mutable task : (unit -> unit) option;
-  mutable stop : bool;
+type latch = { lm : Mutex.t; lcv : Condition.t; mutable pending : int }
+
+let latch_down l =
+  Mutex.lock l.lm;
+  l.pending <- l.pending - 1;
+  if l.pending = 0 then Condition.signal l.lcv;
+  Mutex.unlock l.lm
+
+let latch_wait l =
+  Mutex.lock l.lm;
+  while l.pending > 0 do
+    Condition.wait l.lcv l.lm
+  done;
+  Mutex.unlock l.lm
+
+(* One parallel region in flight: the per-thread runner, a slot per
+   logical thread for the first exception it raised, the join latch,
+   the caller's cancellation token (re-installed around every task so
+   chunks poll the deadline of the call they belong to), and whether
+   the region is [Static] (then chunk affinity is recorded). *)
+type region = {
+  r_run : int -> unit;
+  r_exns : exn option array;
+  r_latch : latch;
+  r_busy : int Atomic.t;
+  r_token : Fault.token option;
+  r_static : bool;
 }
 
-type worker = { mb : mailbox; alive : bool Atomic.t; dom : unit Domain.t }
+(* One logical thread of a region, as queued for a worker. *)
+type task = { t_region : region; t_thread : int }
+
+(* --- resident workers --------------------------------------------------- *)
+
+type worker = {
+  w_id : int;  (** slot in [workers] and [locals]; stable across respawn *)
+  alive : bool Atomic.t;
+  stop : bool ref;  (** guarded by [q_mu] *)
+  dom : unit Domain.t;
+}
 
 (* True inside a pool worker (or spawn-fallback domain created by the
    pool): a parallel region entered there must not wait on the team it
    is part of. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let pool_lock = Mutex.create ()  (* guards [workers] growth/shutdown *)
+(* The worker slot this domain occupies, [None] on the master and on
+   spawn-fallback domains; lets tests observe chunk affinity. *)
+let worker_slot : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_worker () = Domain.DLS.get worker_slot
+
+let pool_lock = Mutex.create ()  (* guards [workers] growth/shutdown/heal *)
 let workers : worker array ref = ref [||]
 
-(* One region occupies the resident team at a time; concurrent regions
-   take the spawn fallback instead of queueing (see [run]). *)
-let region_lock = Mutex.create ()
+(* The task queue: one global FIFO plus one affinity queue per worker
+   slot, all guarded by [q_mu]/[q_cv].  Affinity queues are indexed by
+   worker slot, so they survive a respawn: tasks pinned to a dead slot
+   are either drained by the dying worker itself (reported as lost
+   chunks) or picked up by its replacement. *)
+let q_mu = Mutex.create ()
+let q_cv = Condition.create ()
+let q_global : task Queue.t = Queue.create ()
+let locals : task Queue.t array = Array.init max_pool_size (fun _ -> Queue.create ())
+
+(* Chunk affinity: [last_worker.(t)] is the worker slot that executed
+   logical thread [t]'s chunk in the most recent [Static] region
+   (initially the canonical [t - 1] binding).  Read/written without a
+   lock: a stale value only changes which queue a task prefers, never
+   correctness. *)
+let last_worker = Array.init (max_pool_size + 1) (fun t -> t - 1)
 
 (* --- supervision state --------------------------------------------------- *)
 
@@ -192,39 +281,118 @@ let health () =
   | None -> Healthy
   | Some r -> Degraded r
 
-let worker_main mb alive =
-  Domain.DLS.set in_worker true;
-  let rec loop () =
-    Mutex.lock mb.mu;
-    while mb.task = None && not mb.stop do
-      Condition.wait mb.cv mb.mu
-    done;
-    let task = mb.task in
-    mb.task <- None;
-    let stop = mb.stop in
-    Mutex.unlock mb.mu;
-    match task with
-    | Some f ->
-      f ();
-      loop ()
-    | None -> if not stop then loop ()
+let lost_chunk ~slot ~thread =
+  Fault.Pool_error
+    (Printf.sprintf "worker %d died; chunk of thread %d not executed" slot
+       thread)
+
+(* Report a task that will never execute: record the lost chunk and
+   release its latch slot so the region's join cannot hang. *)
+let abandon_task ~slot task =
+  task.t_region.r_exns.(task.t_thread) <-
+    Some (lost_chunk ~slot ~thread:task.t_thread);
+  latch_down task.t_region.r_latch
+
+(* Execute one queued task on worker [slot].  Any exception the chunk
+   body raises is recorded in the region's exception slot (the worker
+   survives it); the latch release is in a [finally] so even a
+   crashing worker counts down before dying — the master can always
+   join.  An injected worker crash records a {!Fault.Pool_error} for
+   its chunk and re-raises to kill the worker's domain. *)
+let exec_task ~slot ~alive task =
+  let r = task.t_region in
+  Fun.protect
+    ~finally:(fun () -> latch_down r.r_latch)
+    (fun () ->
+      if Faultinject.crash_worker ~worker:slot then begin
+        r.r_exns.(task.t_thread) <-
+          Some
+            (Fault.Pool_error
+               (Printf.sprintf
+                  "worker %d died mid-region (injected crash); chunk of \
+                   thread %d not executed"
+                  slot task.t_thread));
+        (* mark the death before the latch releases (in [finally]):
+           the master may enter the next region the instant the join
+           completes, and must see [dead_flag] there *)
+        Atomic.set alive false;
+        Atomic.set death_note (Printf.sprintf "injected kill-worker:%d" slot);
+        Atomic.set dead_flag true;
+        (* escapes the task loop: the worker domain dies and the
+           supervisor respawns it at the next region entry *)
+        raise (Faultinject.Injected (Printf.sprintf "kill-worker:%d" slot))
+      end;
+      let t0 = now_ns () in
+      (try Fault.with_token_opt r.r_token (fun () -> r.r_run task.t_thread)
+       with e -> r.r_exns.(task.t_thread) <- Some e);
+      if r.r_static then last_worker.(task.t_thread) <- slot;
+      ignore (Atomic.fetch_and_add r.r_busy (now_ns () - t0)))
+
+(* A worker's task source: its own affinity queue first (pinned static
+   chunks), then the global FIFO.  Pinned tasks are deliberately not
+   stolen by other workers — affinity is a cache-locality contract and
+   keeps the chunk-to-worker map of identical regions deterministic;
+   a pinned task whose worker is busy simply waits its turn. *)
+let next_task ~slot stop =
+  Mutex.lock q_mu;
+  let rec get () =
+    if !stop then None
+    else if not (Queue.is_empty locals.(slot)) then Some (Queue.pop locals.(slot))
+    else if not (Queue.is_empty q_global) then Some (Queue.pop q_global)
+    else begin
+      Condition.wait q_cv q_mu;
+      get ()
+    end
   in
-  (* Supervisor boundary: an exception escaping a task wrapper (chunk
+  let t = get () in
+  Mutex.unlock q_mu;
+  t
+
+(* Death path: a worker leaving with an unhandled exception first
+   marks itself dead (dispatchers then stop pinning tasks to its
+   queue), then drains its own affinity queue — and the global queue
+   too when it is the last one standing — reporting every pending task
+   as a lost chunk, so no region joins on a corpse. *)
+let drain_on_death ~slot ~alive =
+  Atomic.set alive false;
+  Atomic.set dead_flag true;
+  Mutex.lock q_mu;
+  while not (Queue.is_empty locals.(slot)) do
+    abandon_task ~slot (Queue.pop locals.(slot))
+  done;
+  let others_alive =
+    Array.exists (fun w' -> w'.w_id <> slot && Atomic.get w'.alive) !workers
+  in
+  if not others_alive then
+    while not (Queue.is_empty q_global) do
+      abandon_task ~slot (Queue.pop q_global)
+    done;
+  Mutex.unlock q_mu
+
+let worker_main ~slot ~stop ~alive =
+  Domain.DLS.set in_worker true;
+  Domain.DLS.set worker_slot (Some slot);
+  let rec loop () =
+    match next_task ~slot stop with
+    | None -> ()  (* stop requested *)
+    | Some task ->
+      exec_task ~slot ~alive task;
+      loop ()
+  in
+  (* Supervisor boundary: an exception escaping [exec_task] (chunk
      bodies catch their own — this is a poisoned/crashed worker) marks
      the worker dead for the next region entry to reap.  The domain
      terminates normally so joining it never re-raises. *)
   try loop ()
   with e ->
     Atomic.set death_note (Printexc.to_string e);
-    Atomic.set alive false;
-    Atomic.set dead_flag true
+    drain_on_death ~slot ~alive
 
-let spawn_worker () =
-  let mb =
-    { mu = Mutex.create (); cv = Condition.create (); task = None; stop = false }
-  in
+let spawn_worker slot =
+  let stop = ref false in
   let alive = Atomic.make true in
-  { mb; alive; dom = Domain.spawn (fun () -> worker_main mb alive) }
+  let dom = Domain.spawn (fun () -> worker_main ~slot ~stop ~alive) in
+  { w_id = slot; alive; stop; dom }
 
 (** Grow the resident team to at least [n] workers (idempotent). *)
 let ensure_workers n =
@@ -234,7 +402,8 @@ let ensure_workers n =
     let have = Array.length !workers in
     if have < n then
       workers :=
-        Array.append !workers (Array.init (n - have) (fun _ -> spawn_worker ()));
+        Array.append !workers
+          (Array.init (n - have) (fun i -> spawn_worker (have + i)));
     Mutex.unlock pool_lock
   end
 
@@ -253,26 +422,35 @@ let stats () =
     idle_ns = Atomic.get c_idle_ns;
     hist = Array.map Atomic.get c_hist;
     respawns = Atomic.get c_respawns;
+    max_inflight = Atomic.get c_max_inflight;
     health = health ();
   }
 
 (** Stop and join the resident workers (registered [at_exit] so the
     process never hangs on blocked condition waits at shutdown).
-    Joins are defensive: a worker that died on its own joins without
-    re-raising (its domain body returned normally), but nothing here
-    may throw during [at_exit]. *)
+    Pending tasks are abandoned (lost chunks, latches released) so no
+    caller can be left joining a retired team.  Joins are defensive:
+    a worker that died on its own joins without re-raising (its domain
+    body returned normally), but nothing here may throw during
+    [at_exit]. *)
 let shutdown () =
   Mutex.lock pool_lock;
   let ws = !workers in
   workers := [||];
   Mutex.unlock pool_lock;
+  Mutex.lock q_mu;
+  Array.iter (fun w -> w.stop := true) ws;
   Array.iter
     (fun w ->
-      Mutex.lock w.mb.mu;
-      w.mb.stop <- true;
-      Condition.signal w.mb.cv;
-      Mutex.unlock w.mb.mu)
+      while not (Queue.is_empty locals.(w.w_id)) do
+        abandon_task ~slot:w.w_id (Queue.pop locals.(w.w_id))
+      done)
     ws;
+  while not (Queue.is_empty q_global) do
+    abandon_task ~slot:(-1) (Queue.pop q_global)
+  done;
+  Condition.broadcast q_cv;
+  Mutex.unlock q_mu;
   Array.iter (fun w -> try Domain.join w.dom with _ -> ()) ws
 
 let () = at_exit shutdown
@@ -280,8 +458,9 @@ let () = at_exit shutdown
 (* --- supervision --------------------------------------------------------- *)
 
 (* Retire the resident team and run all subsequent regions
-   sequentially.  Safe while holding [region_lock]: the team is idle
-   (we own the region) and [shutdown] only takes [pool_lock]. *)
+   sequentially.  [shutdown] abandons queued tasks and releases their
+   latches, so even regions dispatched concurrently with the
+   degradation observe lost chunks rather than hanging. *)
 let degrade reason =
   Atomic.set degraded_reason (Some reason);
   shutdown ()
@@ -294,29 +473,42 @@ let reset_health () =
   Atomic.set dead_flag false;
   Atomic.set c_respawns 0
 
-(* Reap dead workers and respawn replacements, or degrade once the
-   respawn budget is exhausted.  Called while holding [region_lock],
-   so no chunk is in flight on the resident team. *)
+(* Reap dead workers and respawn replacements into the same slot, or
+   degrade once the respawn budget is exhausted.  Called at region
+   entry; concurrent regions may race here, so the whole
+   reap-and-respawn runs under [pool_lock] (the first caller heals,
+   the rest see [dead_flag] already cleared).  Tasks other regions
+   pinned to the dead slot survive in its affinity queue and are
+   drained by the replacement worker. *)
 let heal_workers () =
   if Atomic.get dead_flag then begin
     Mutex.lock pool_lock;
-    Atomic.set dead_flag false;
-    let ws = !workers in
-    let died = ref 0 in
-    Array.iteri
-      (fun i w ->
-        if not (Atomic.get w.alive) then begin
-          (try Domain.join w.dom with _ -> ());
-          incr died;
-          Atomic.incr c_respawns;
-          ws.(i) <- spawn_worker ()
-        end)
-      ws;
+    if Atomic.get dead_flag then begin
+      Atomic.set dead_flag false;
+      let ws = !workers in
+      let died = ref 0 in
+      Array.iteri
+        (fun i w ->
+          if not (Atomic.get w.alive) then begin
+            (try Domain.join w.dom with _ -> ());
+            incr died;
+            Atomic.incr c_respawns;
+            ws.(i) <- spawn_worker w.w_id
+          end)
+        ws;
+      if !died > 0 && Atomic.get c_respawns > !max_respawns then begin
+        Atomic.set degraded_reason
+          (Some
+             (Printf.sprintf
+                "worker deaths exceeded respawn budget of %d (last: %s)"
+                !max_respawns (Atomic.get death_note)))
+      end
+    end;
     Mutex.unlock pool_lock;
-    if !died > 0 && Atomic.get c_respawns > !max_respawns then
-      degrade
-        (Printf.sprintf "worker deaths exceeded respawn budget of %d (last: %s)"
-           !max_respawns (Atomic.get death_note))
+    (* retire the team outside [pool_lock]: [degrade] takes it again *)
+    match Atomic.get degraded_reason with
+    | Some reason when pool_size () > 0 -> degrade reason
+    | _ -> ()
   end
 
 (* --- region planning ---------------------------------------------------- *)
@@ -367,100 +559,87 @@ let plan ~sched ~lo ~hi n body =
           end
         in
         pull () )
+  | Sched.Guided k ->
+    (* OpenMP guided decay: each pull takes max(k, remaining/team)
+       iterations, so chunks shrink as the loop drains (see
+       {!Sched.guided_chunk}).  The shared position advances by CAS:
+       the size depends on the remaining count, so a plain
+       fetch-and-add of a fixed stride cannot express it. *)
+    let k = max 1 k in
+    let nchunks = (total + k - 1) / k in
+    let team = max 0 (min n nchunks) in
+    let pos = Atomic.make lo in
+    ( team,
+      fun t ->
+        let rec pull () =
+          let s = Atomic.get pos in
+          if s <= hi then begin
+            let size =
+              Sched.guided_chunk ~remaining:(hi - s + 1) ~team ~min_chunk:k
+            in
+            if Atomic.compare_and_set pos s (s + size) then begin
+              Atomic.incr c_tasks;
+              body t s (min hi (s + size - 1))
+            end;
+            pull ()
+          end
+        in
+        pull () )
 
 (* --- execution paths ---------------------------------------------------- *)
-
-type latch = { lm : Mutex.t; lcv : Condition.t; mutable pending : int }
-
-let latch_down l =
-  Mutex.lock l.lm;
-  l.pending <- l.pending - 1;
-  if l.pending = 0 then Condition.signal l.lcv;
-  Mutex.unlock l.lm
-
-let latch_wait l =
-  Mutex.lock l.lm;
-  while l.pending > 0 do
-    Condition.wait l.lcv l.lm
-  done;
-  Mutex.unlock l.lm
 
 let reraise_first (exns : exn option array) =
   (* master (thread 0) exception wins, then lowest thread id *)
   Array.iter (function Some e -> raise e | None -> ()) exns
 
-(* Dispatch to the resident team; caller holds [region_lock] and has
-   ensured [team - 1] workers exist.  The latch release is in a
-   [finally] so even a crashing worker counts down before dying — the
-   master can always join; and a crash records a {!Fault.Pool_error}
-   in the worker's exception slot so its chunk is reported, never
-   silently dropped. *)
-let run_on_team ~team run_thread =
+(* Dispatch one region to the task queue and run thread 0 inline (the
+   OpenMP master).  Tasks of [Static] regions are pinned to the worker
+   that ran the same chunk index last time (when that slot is alive);
+   everything else goes through the global FIFO, where any idle worker
+   picks it up — concurrent regions interleave there.  The latch
+   counts the queued tasks; every path that consumes a task (normal
+   execution, injected crash, death drain, shutdown) releases its
+   slot, so the join always completes. *)
+let run_queued ~team ~static ~token run_thread =
+  let region =
+    {
+      r_run = run_thread;
+      r_exns = Array.make team None;
+      r_latch =
+        { lm = Mutex.create (); lcv = Condition.create (); pending = team - 1 };
+      r_busy = Atomic.make 0;
+      r_token = token;
+      r_static = static;
+    }
+  in
   let ws = !workers in
-  let exns = Array.make team None in
-  let latch =
-    { lm = Mutex.create (); lcv = Condition.create (); pending = team - 1 }
-  in
-  let busy = Atomic.make 0 in
-  let timed t () =
-    let t0 = now_ns () in
-    (try run_thread t with e -> exns.(t) <- Some e);
-    ignore (Atomic.fetch_and_add busy (now_ns () - t0))
-  in
+  Mutex.lock q_mu;
   for t = 1 to team - 1 do
-    let w = ws.(t - 1) in
-    let job () =
-      Fun.protect
-        ~finally:(fun () -> latch_down latch)
-        (fun () ->
-          if Faultinject.crash_worker ~worker:(t - 1) then begin
-            exns.(t) <-
-              Some
-                (Fault.Pool_error
-                   (Printf.sprintf
-                      "worker %d died mid-region (injected crash); chunk of \
-                       thread %d not executed"
-                      (t - 1) t));
-            (* mark the death before the latch releases (in [finally]):
-               the master may enter the next region the instant the
-               join completes, and must see [dead_flag] there *)
-            Atomic.set w.alive false;
-            Atomic.set death_note
-              (Printf.sprintf "injected kill-worker:%d" (t - 1));
-            Atomic.set dead_flag true;
-            (* escapes the mailbox loop: the worker domain dies and the
-               supervisor respawns it at the next region entry *)
-            raise (Faultinject.Injected (Printf.sprintf "kill-worker:%d" (t - 1)))
-          end;
-          timed t ())
+    let task = { t_region = region; t_thread = t } in
+    let pinned =
+      if static then
+        let slot = last_worker.(t) in
+        if slot >= 0 && slot < Array.length ws && Atomic.get ws.(slot).alive
+        then Some slot
+        else None
+      else None
     in
-    if not (Atomic.get w.alive) then begin
-      (* raced with a dying worker (its death not yet reaped): don't
-         post to a mailbox nobody drains — record the lost chunk and
-         release its latch slot ourselves so the join can't hang *)
-      exns.(t) <-
-        Some
-          (Fault.Pool_error
-             (Printf.sprintf
-                "worker %d dead at dispatch; chunk of thread %d not executed"
-                (t - 1) t));
-      latch_down latch
-    end
-    else begin
-      Mutex.lock w.mb.mu;
-      w.mb.task <- Some job;
-      Condition.signal w.mb.cv;
-      Mutex.unlock w.mb.mu
-    end
+    match pinned with
+    | Some slot -> Queue.push task locals.(slot)
+    | None -> Queue.push task q_global
   done;
-  timed 0 ();
-  latch_wait latch;
-  (exns, Atomic.get busy)
+  Condition.broadcast q_cv;
+  Mutex.unlock q_mu;
+  let t0 = now_ns () in
+  (try run_thread 0 with e -> region.r_exns.(0) <- Some e);
+  ignore (Atomic.fetch_and_add region.r_busy (now_ns () - t0));
+  latch_wait region.r_latch;
+  (region.r_exns, Atomic.get region.r_busy)
 
-(* Spawn-per-region fallback: the pre-pool behaviour, used for nested
-   regions and when the resident team is already occupied.  Nested
-   regions therefore oversubscribe the machine exactly as the paper
-   observes for 8 threads on 4 cores. *)
+(* Spawn-per-region fallback: the pre-pool behaviour, used for regions
+   nested inside a pool worker.  Nested regions therefore
+   oversubscribe the machine exactly as the paper observes for 8
+   threads on 4 cores. *)
 let run_spawned ~team run_thread =
   let exns = Array.make team None in
   let doms =
@@ -488,11 +667,13 @@ let run_sequential ~team run_thread =
 (** Run [body t chunk_lo chunk_hi] over the inclusive range [lo..hi]
     on a team of [threads] logical threads (default
     {!num_threads}), under schedule [sched] (default
-    {!Sched.Static}).  Thread 0 is the calling domain (the OpenMP
+    {!Sched.default}).  Thread 0 is the calling domain (the OpenMP
     master); under [Static] each participating thread receives exactly
     one contiguous chunk, so chunk assignment — and hence reduction
     combining order — is deterministic and identical to the historical
-    spawn-per-region runtime. *)
+    spawn-per-region runtime.  Concurrent top-level regions multiplex
+    onto the shared resident workers through the task queue; only
+    regions entered from inside a worker take the spawn fallback. *)
 let run ?threads ?(sched = Sched.default) ~lo ~hi body =
   let n = match threads with Some n -> max 1 n | None -> num_threads () in
   let total = hi - lo + 1 in
@@ -516,6 +697,10 @@ let run ?threads ?(sched = Sched.default) ~lo ~hi body =
     end
     else begin
       let team, run_thread = plan ~sched ~lo ~hi n body in
+      (* the caller's deadline travels with the region: every chunk
+         task re-installs it on the domain that executes it *)
+      let token = Fault.current () in
+      let run_thread t = Fault.with_token_opt token (fun () -> run_thread t) in
       if team <= 1 then begin
         Atomic.incr c_inline;
         run_thread 0
@@ -532,33 +717,33 @@ let run ?threads ?(sched = Sched.default) ~lo ~hi body =
       end
       else begin
         ensure_workers (team - 1);
-        let resident = pool_size () in
-        if team - 1 > resident || not (Mutex.try_lock region_lock) then begin
-          (* pool exhausted or another region is in flight *)
+        (* reap/respawn workers that died in an earlier region; may
+           flip the pool to degraded mode *)
+        heal_workers ();
+        if Atomic.get degraded_reason <> None then begin
+          Atomic.incr c_seq;
+          reraise_first (run_sequential ~team run_thread)
+        end
+        else if team - 1 > pool_size () then begin
+          (* requested team exceeds the pool cap *)
           Atomic.incr c_spawn;
           reraise_first (run_spawned ~team run_thread)
         end
         else begin
+          enter_inflight ();
           let outcome =
             Fun.protect
-              ~finally:(fun () -> Mutex.unlock region_lock)
+              ~finally:(fun () -> leave_inflight ())
               (fun () ->
-                (* reap/respawn workers that died in an earlier region;
-                   may flip the pool to degraded mode *)
-                heal_workers ();
-                if Atomic.get degraded_reason <> None then `Degraded
-                else begin
-                  let t0 = now_ns () in
-                  let exns, busy = run_on_team ~team run_thread in
-                  record_region ~wall_ns:(now_ns () - t0) ~busy_ns:busy ~team;
-                  `Done exns
-                end)
+                let t0 = now_ns () in
+                let exns, busy =
+                  run_queued ~team ~static:(sched = Sched.Static) ~token
+                    run_thread
+                in
+                record_region ~wall_ns:(now_ns () - t0) ~busy_ns:busy ~team;
+                exns)
           in
-          match outcome with
-          | `Done exns -> reraise_first exns
-          | `Degraded ->
-            Atomic.incr c_seq;
-            reraise_first (run_sequential ~team run_thread)
+          reraise_first outcome
         end
       end
     end

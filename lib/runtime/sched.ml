@@ -4,14 +4,20 @@
     executes: [Static] is OpenMP's default schedule (one contiguous
     block per thread, deterministic chunk assignment and therefore
     deterministic reduction combining order), [Static_chunked k] deals
-    chunks of [k] iterations round-robin, and [Dynamic k] lets threads
+    chunks of [k] iterations round-robin, [Dynamic k] lets threads
     pull [k]-iteration chunks from a shared counter (load-balancing at
-    the price of determinism). *)
+    the price of determinism), and [Guided k] pulls chunks whose size
+    decays with the remaining work — OpenMP's
+    [schedule(guided, k)] rule: each chunk is
+    [max k (remaining / team)], so early chunks are large (low
+    dispatch overhead) and late chunks small (load balance at the
+    tail). *)
 
 type t =
   | Static
   | Static_chunked of int  (** round-robin chunks of this size *)
   | Dynamic of int  (** work-stealing chunks of this size *)
+  | Guided of int  (** decaying chunks, floor of this size *)
 
 let default = Static
 
@@ -19,13 +25,16 @@ let to_string = function
   | Static -> "static"
   | Static_chunked k -> Printf.sprintf "chunk:%d" k
   | Dynamic k -> Printf.sprintf "dynamic:%d" k
+  | Guided k -> Printf.sprintf "guided:%d" k
 
 (** Parse the surface syntax shared by the CLI ([--schedule]) and the
-    [.gpi] [schedule] clause: [static], [chunk:<k>] or [dynamic:<k>]
-    (chunk sizes must be >= 1). *)
+    [.gpi] [schedule] clause: [static], [chunk:<k>], [dynamic:<k>] or
+    [guided[:<k>]] (chunk sizes must be >= 1; [guided] alone means a
+    floor of 1). *)
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "static" -> Some Static
+  | "guided" -> Some (Guided 1)
   | s -> (
     let chunked prefix mk =
       let pl = String.length prefix in
@@ -37,7 +46,10 @@ let of_string s =
     in
     match chunked "chunk:" (fun k -> Static_chunked k) with
     | Some _ as r -> r
-    | None -> chunked "dynamic:" (fun k -> Dynamic k))
+    | None -> (
+      match chunked "dynamic:" (fun k -> Dynamic k) with
+      | Some _ as r -> r
+      | None -> chunked "guided:" (fun k -> Guided k)))
 
 (** Static chunking of the inclusive iteration space [lo..hi] (unit
     step) into [n] contiguous chunks; returns [(chunk_lo, chunk_hi)]
@@ -57,3 +69,29 @@ let static_chunks ~lo ~hi n =
     under [schedule(static)] — workers beyond this get empty chunks
     and are never dispatched to. *)
 let static_occupancy ~lo ~hi n = max 0 (min n (hi - lo + 1))
+
+(** {1 Guided decay rule}
+
+    OpenMP's [schedule(guided, k)]: the next chunk covers
+    [max k (remaining / team)] iterations (clamped to what is left).
+    Strictly positive for [remaining >= 1], so a guided loop always
+    terminates; the sizes are non-increasing as [remaining] shrinks,
+    down to the floor [k]. *)
+
+(** Size of the next guided chunk given [remaining] iterations, a
+    [team] of logical threads and the floor [min_chunk]. *)
+let guided_chunk ~remaining ~team ~min_chunk =
+  min remaining (max (max 1 min_chunk) (remaining / max 1 team))
+
+(** The full chunk-size sequence a guided loop of [total] iterations
+    produces when chunks are taken one at a time (the decay law, as a
+    pure function — the pool's concurrent pulls interleave threads but
+    each pull obeys {!guided_chunk}). *)
+let guided_chunk_sizes ~total ~team ~min_chunk =
+  let rec go remaining acc =
+    if remaining <= 0 then List.rev acc
+    else
+      let c = guided_chunk ~remaining ~team ~min_chunk in
+      go (remaining - c) (c :: acc)
+  in
+  go total []

@@ -248,33 +248,15 @@ type batch = {
 
 let max_reported_faults = 5
 
-(** Serve a batch of calls in file order.  A failing call is recorded
-    and serving {e continues} with the next call; [max_errors] aborts
-    the remainder of the batch once that many calls have failed
-    ([b_skipped]/[b_aborted] report the cut).  [on_result] streams
-    each result as it is produced (the CLI prints from it). *)
-let run_calls ?threads ?sched ?deadline_s ?retries ?backoff_s ?max_errors
-    ?(on_result = fun _ _ -> ()) compiled calls =
-  let results = ref [] and ok = ref 0 and failed = ref 0 in
-  let faults = ref [] in
-  let rec serve = function
-    | [] -> []
-    | call :: rest ->
-      let r = run_call ?threads ?sched ?deadline_s ?retries ?backoff_s compiled call in
-      (match r with
-      | Ok _ -> incr ok
-      | Error f ->
-        incr failed;
-        faults := f :: !faults);
-      results := (call, r) :: !results;
-      on_result call r;
-      let aborted =
-        match max_errors with Some k -> !failed >= k | None -> false
-      in
-      if aborted then rest else serve rest
+let summarize ~results ~skipped ~aborted =
+  let ok =
+    List.length (List.filter (fun (_, r) -> Result.is_ok r) results)
   in
-  let skipped = serve calls in
-  let faults = List.rev !faults in
+  let faults =
+    List.filter_map
+      (function _, Error f -> Some f | _, Ok _ -> None)
+      results
+  in
   let by_class =
     List.filter_map
       (fun c ->
@@ -285,15 +267,201 @@ let run_calls ?threads ?sched ?deadline_s ?retries ?backoff_s ?max_errors
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
   {
-    b_results = List.rev !results;
-    b_ok = !ok;
-    b_failed = !failed;
-    b_skipped = List.length skipped;
+    b_results = results;
+    b_ok = ok;
+    b_failed = List.length faults;
+    b_skipped = skipped;
     b_by_class = by_class;
-    b_first_faults =
-      List.filteri (fun i _ -> i < max_reported_faults) faults;
-    b_aborted = skipped <> [];
+    b_first_faults = List.filteri (fun i _ -> i < max_reported_faults) faults;
+    b_aborted = aborted;
   }
+
+let run_calls_sequential ?threads ?sched ?deadline_s ?retries ?backoff_s
+    ?max_errors ~on_result compiled calls =
+  let results = ref [] and failed = ref 0 in
+  let rec serve = function
+    | [] -> []
+    | call :: rest ->
+      let r = run_call ?threads ?sched ?deadline_s ?retries ?backoff_s compiled call in
+      (match r with Ok _ -> () | Error _ -> incr failed);
+      results := (call, r) :: !results;
+      on_result call r;
+      let aborted =
+        match max_errors with Some k -> !failed >= k | None -> false
+      in
+      if aborted then rest else serve rest
+  in
+  let skipped = serve calls in
+  summarize ~results:(List.rev !results)
+    ~skipped:(List.length skipped) ~aborted:(skipped <> [])
+
+(* --- concurrent serving -------------------------------------------------- *)
+
+(* One call's slot in the concurrent scheduler.  [j_attempt] counts
+   completed tries; a transient failure with budget left goes back to
+   the delayed list with an absolute [j_not_before] instead of
+   sleeping in the slot (the retry-backoff bug of the sequential
+   path: [Unix.sleepf] there blocks the whole slot, so one flaky call
+   would stall a concurrency-N batch by occupying a slot doing
+   nothing). *)
+type job = {
+  j_call : call;
+  j_index : int;  (** position in the calls file, for ordered results *)
+  mutable j_attempt : int;
+  mutable j_not_before : float;  (** absolute earliest next try *)
+  mutable j_last_fault : Fault.t option;
+}
+
+type slot_result =
+  | Pending
+  | Done of (call * (outcome, Fault.t) result)
+  | Skip  (** never attempted: batch aborted first *)
+
+(* Serve the batch on [concurrency] executor domains pulling jobs from
+   a shared queue.  Each in-flight call owns a fresh interpreter state
+   and its own cancellation token (the ambient token is per-domain),
+   and its parallel regions multiplex onto the shared worker pool.
+   [on_result] is still emitted in file order: results are held back
+   until every earlier call has resolved. *)
+let run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s
+    ?(retries = 0) ?(backoff_s = 0.05) ?max_errors ~on_result compiled calls =
+  let n = List.length calls in
+  let results = Array.make n Pending in
+  let mu = Mutex.create () and cv = Condition.create () in
+  let ready : job Queue.t = Queue.create () in
+  let delayed = ref [] in
+  let active = ref 0 and failed = ref 0 in
+  let aborted = ref false in
+  let next_emit = ref 0 in
+  List.iteri
+    (fun i c ->
+      Queue.push
+        { j_call = c; j_index = i; j_attempt = 0; j_not_before = 0.;
+          j_last_fault = None }
+        ready)
+    calls;
+  (* under [mu]: stream every result whose predecessors have resolved *)
+  let emit_in_order () =
+    let continue = ref true in
+    while !continue && !next_emit < n do
+      match results.(!next_emit) with
+      | Pending -> continue := false
+      | Skip -> incr next_emit
+      | Done (c, r) ->
+        on_result c r;
+        incr next_emit
+    done
+  in
+  (* under [mu] *)
+  let record j r =
+    results.(j.j_index) <- Done (j.j_call, r);
+    (match r with Ok _ -> () | Error _ -> incr failed);
+    (match max_errors with
+    | Some k when !failed >= k && not !aborted ->
+      aborted := true;
+      (* the abort cut: never-attempted jobs are skipped (exactly the
+         sequential semantics); jobs mid-backoff have already failed
+         at least once, so they are recorded as their last fault *)
+      let flush j =
+        match j.j_last_fault with
+        | None -> results.(j.j_index) <- Skip
+        | Some f ->
+          results.(j.j_index) <- Done (j.j_call, Error f);
+          incr failed
+      in
+      Queue.iter flush ready;
+      Queue.clear ready;
+      List.iter flush !delayed;
+      delayed := []
+    | _ -> ());
+    emit_in_order ()
+  in
+  let now () = Unix.gettimeofday () in
+  let rec slot_loop () =
+    Mutex.lock mu;
+    (* promote delayed jobs whose backoff has elapsed *)
+    let t = now () in
+    let due, still = List.partition (fun j -> j.j_not_before <= t) !delayed in
+    delayed := still;
+    List.iter (fun j -> Queue.push j ready) due;
+    if not (Queue.is_empty ready) then begin
+      let j = Queue.pop ready in
+      incr active;
+      Mutex.unlock mu;
+      let r = run_call_once ?threads ?sched ?deadline_s compiled j.j_call in
+      Mutex.lock mu;
+      decr active;
+      (match r with
+      | Error f when Fault.is_transient f && j.j_attempt < retries && not !aborted ->
+        (* release the slot for the backoff: requeue with a not-before
+           time instead of sleeping here *)
+        j.j_last_fault <- Some f;
+        j.j_not_before <-
+          now () +. (backoff_s *. (2.0 ** float_of_int j.j_attempt));
+        j.j_attempt <- j.j_attempt + 1;
+        delayed := j :: !delayed
+      | r -> record j r);
+      Condition.broadcast cv;
+      Mutex.unlock mu;
+      slot_loop ()
+    end
+    else if !delayed <> [] then begin
+      (* only backoffs outstanding: poll-sleep until the earliest one
+         is due (the stdlib has no timed condition wait) *)
+      let due_at =
+        List.fold_left (fun a j -> Float.min a j.j_not_before) infinity !delayed
+      in
+      Mutex.unlock mu;
+      Unix.sleepf (Float.min 0.05 (Float.max 0.001 (due_at -. now ())));
+      slot_loop ()
+    end
+    else if !active > 0 then begin
+      (* an in-flight call may yet requeue a retry *)
+      Condition.wait cv mu;
+      Mutex.unlock mu;
+      slot_loop ()
+    end
+    else begin
+      (* nothing queued, delayed or running: batch complete *)
+      Condition.broadcast cv;
+      Mutex.unlock mu
+    end
+  in
+  let helpers =
+    Array.init (max 0 (min concurrency n - 1)) (fun _ -> Domain.spawn slot_loop)
+  in
+  slot_loop ();
+  Array.iter Domain.join helpers;
+  let results = Array.to_list results in
+  let ordered =
+    List.filter_map (function Done cr -> Some cr | Pending | Skip -> None) results
+  in
+  let skipped =
+    List.length (List.filter (function Skip | Pending -> true | Done _ -> false) results)
+  in
+  summarize ~results:ordered ~skipped ~aborted:!aborted
+
+(** Serve a batch of calls.  A failing call is recorded and serving
+    {e continues} with the next call; [max_errors] aborts the
+    remainder of the batch once that many calls have failed
+    ([b_skipped]/[b_aborted] report the cut).  [on_result] streams
+    each result in file order (the CLI prints from it).
+
+    [concurrency] overlaps that many independent calls, each with its
+    own interpreter state and deadline token, multiplexing their
+    parallel regions onto the shared worker pool; results, ordering
+    and fault accounting match sequential serving (and for
+    deterministic schedules the per-call outputs are bit-identical —
+    chunk plans and reduction combining order do not depend on which
+    worker runs a chunk). *)
+let run_calls ?(concurrency = 1) ?threads ?sched ?deadline_s ?retries
+    ?backoff_s ?max_errors ?(on_result = fun _ _ -> ()) compiled calls =
+  if concurrency <= 1 then
+    run_calls_sequential ?threads ?sched ?deadline_s ?retries ?backoff_s
+      ?max_errors ~on_result compiled calls
+  else
+    run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s ?retries
+      ?backoff_s ?max_errors ~on_result compiled calls
 
 let pp_args ppf = function
   | [] -> Format.pp_print_string ppf "()"

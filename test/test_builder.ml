@@ -119,11 +119,15 @@ let test_schedule_clause () =
   check "no clause" "" None;
   check "static" " schedule static" (Some Stmt.Sched_static);
   check "chunk" " schedule chunk:4" (Some (Stmt.Sched_static_chunk 4));
-  check "dynamic" " schedule dynamic:16" (Some (Stmt.Sched_dynamic 16))
+  check "dynamic" " schedule dynamic:16" (Some (Stmt.Sched_dynamic 16));
+  check "guided" " schedule guided" (Some (Stmt.Sched_guided 1));
+  check "guided with floor" " schedule guided:8" (Some (Stmt.Sched_guided 8))
 
 let test_schedule_clause_errors () =
-  check_script_error ~line:8 (sched_script " schedule guided")
+  check_script_error ~line:8 (sched_script " schedule sliced")
     "unknown schedule kind";
+  check_script_error ~line:8 (sched_script " schedule guided:0")
+    "non-positive guided floor";
   check_script_error ~line:8 (sched_script " schedule chunk:0")
     "non-positive chunk";
   check_script_error ~line:8 (sched_script " schedule dynamic")

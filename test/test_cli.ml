@@ -255,6 +255,43 @@ let test_serve_timeout_and_retry_flags () =
     check_bool "zero max-errors exits 2" true (rc = 2)
   end
 
+let test_serve_concurrency_flag () =
+  require_available ();
+  begin
+    let calls = Filename.temp_file "oglaf_conc" ".txt" in
+    let oc = open_out calls in
+    output_string oc "pi_mid(1000)\npi_mid(2000)\npi_mid(3000)\npi_mid(4000)\n";
+    close_out oc;
+    (* overlapped batch, guided schedule, surviving an injected worker
+       death: exit 0 with every call served in file order *)
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s serve %s/quad_sweep.gpi --calls %s --threads 4 --schedule \
+            guided:8 --concurrency 4 --retry 2 --inject kill-worker:1"
+           exe scripts (Filename.quote calls))
+    in
+    check_bool "exit 0" true (rc = 0);
+    let result_lines =
+      List.filter
+        (fun l -> contains l "pi_mid(")
+        (String.split_on_char '\n' out)
+    in
+    Alcotest.(check int) "four results" 4 (List.length result_lines);
+    check_bool "results in file order" true
+      (List.mapi (fun i l -> contains l (Printf.sprintf "[line %d]" (i + 1)))
+         result_lines
+      |> List.for_all Fun.id);
+    check_bool "approximates pi" true (contains out "3.141");
+    (* flag validation *)
+    let rc, _ =
+      run_capture
+        (Printf.sprintf "%s serve %s/quad_sweep.gpi --calls %s --concurrency 0"
+           exe scripts (Filename.quote calls))
+    in
+    check_bool "zero concurrency exits 2" true (rc = 2)
+  end
+
 let test_serve_calls_parser () =
   let open Glaf_service in
   let calls = Serve.parse_calls "# c\n\nf(1, 2.5)\ng\nh()\n" in
@@ -303,6 +340,8 @@ let suites =
           test_serve_fault_injection;
         Alcotest.test_case "serve timeout + flag validation" `Quick
           test_serve_timeout_and_retry_flags;
+        Alcotest.test_case "serve concurrency" `Quick
+          test_serve_concurrency_flag;
         Alcotest.test_case "check legacy" `Quick test_check_against_legacy;
         Alcotest.test_case "sloc" `Quick test_sloc_command;
       ] );

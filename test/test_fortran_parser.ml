@@ -294,8 +294,16 @@ let test_parse_omp_schedule_chunks () =
   check_bool "dynamic chunk" true (sched = Some (Ast.Dynamic 8));
   let sched, _ = directive_of "schedule(dynamic)" in
   check_bool "dynamic default chunk" true (sched = Some (Ast.Dynamic 1));
-  let sched, _ = directive_of "schedule(guided, 2)" in
-  check_bool "guided" true (sched = Some Ast.Guided)
+  let sched, pp = directive_of "schedule(guided, 2)" in
+  check_bool "guided chunk" true (sched = Some (Ast.Guided 2));
+  check_bool "guided chunk round-trips" true
+    (let n = String.length pp in
+     let rec go i =
+       i + 19 <= n && (String.sub pp i 19 = "schedule(guided, 2)" || go (i + 1))
+     in
+     go 0);
+  let sched, _ = directive_of "schedule(guided)" in
+  check_bool "guided default floor" true (sched = Some (Ast.Guided 1))
 
 let test_parse_omp_atomic_critical () =
   let src =

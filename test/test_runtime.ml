@@ -199,19 +199,69 @@ let test_sched_of_string () =
   check_bool "chunk" true (Sched.of_string "chunk:8" = Some (Sched.Static_chunked 8));
   check_bool "dynamic" true (Sched.of_string "dynamic:2" = Some (Sched.Dynamic 2));
   check_bool "zero chunk rejected" true (Sched.of_string "chunk:0" = None);
-  check_bool "junk rejected" true (Sched.of_string "guided" = None);
+  check_bool "guided default floor" true
+    (Sched.of_string "guided" = Some (Sched.Guided 1));
+  check_bool "guided with floor" true
+    (Sched.of_string "guided:4" = Some (Sched.Guided 4));
+  check_bool "guided zero floor rejected" true (Sched.of_string "guided:0" = None);
+  check_bool "junk rejected" true (Sched.of_string "gelded" = None);
   List.iter
     (fun s ->
       check_bool "roundtrip" true
         (Sched.of_string (Sched.to_string s) = Some s))
-    [ Sched.Static; Sched.Static_chunked 3; Sched.Dynamic 5 ]
+    [ Sched.Static; Sched.Static_chunked 3; Sched.Dynamic 5; Sched.Guided 2 ]
+
+(* OpenMP's guided decay rule as a pure function: every pull takes
+   max(floor, remaining/team), so the sizes are non-increasing, always
+   positive (the loop terminates) and partition the iteration space. *)
+let test_guided_decay_law () =
+  List.iter
+    (fun (total, team, floor) ->
+      let name = Printf.sprintf "guided %d/%d/%d" total team floor in
+      let sizes = Sched.guided_chunk_sizes ~total ~team ~min_chunk:floor in
+      check_int (name ^ ": sizes partition the space") total
+        (List.fold_left ( + ) 0 sizes);
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | _ -> true
+      in
+      check_bool (name ^ ": sizes decay") true (non_increasing sizes);
+      check_bool (name ^ ": chunks positive") true
+        (List.for_all (fun c -> c >= 1) sizes);
+      (* every chunk but the final remainder respects the floor *)
+      let rec floored = function
+        | [] | [ _ ] -> true
+        | c :: rest -> c >= floor && floored rest
+      in
+      check_bool (name ^ ": floor respected") true (floored sizes);
+      match sizes with
+      | first :: _ ->
+        check_int
+          (name ^ ": first chunk is max(floor, remaining/team)")
+          (min total (max floor (total / team)))
+          first
+      | [] -> Alcotest.failf "%s: no chunks for total %d" name total)
+    [ (1000, 4, 1); (1000, 4, 16); (7, 8, 1); (1, 1, 1); (100, 3, 7);
+      (64, 64, 1); (1000, 1, 1) ]
+
+let test_guided_termination () =
+  (* progress even when remaining < team or floor > total: at most one
+     chunk per iteration, never zero-sized *)
+  List.iter
+    (fun (total, team, floor) ->
+      let sizes = Sched.guided_chunk_sizes ~total ~team ~min_chunk:floor in
+      check_bool
+        (Printf.sprintf "guided %d/%d/%d terminates" total team floor)
+        true
+        (List.length sizes <= total && List.fold_left ( + ) 0 sizes = total))
+    [ (1, 64, 1); (2, 64, 1); (3, 1000, 1); (1000, 1000, 1000); (5, 2, 100) ]
 
 let test_pool_empty_range () =
   let called = Atomic.make 0 in
   List.iter
     (fun sched ->
       Pool.run ~threads:4 ~sched ~lo:5 ~hi:4 (fun _ _ _ -> Atomic.incr called))
-    [ Sched.Static; Sched.Static_chunked 2; Sched.Dynamic 2 ];
+    [ Sched.Static; Sched.Static_chunked 2; Sched.Dynamic 2; Sched.Guided 2 ];
   check_int "body never called on empty range" 0 (Atomic.get called)
 
 let test_pool_threads_exceed_iterations () =
@@ -252,7 +302,8 @@ let test_pool_schedules_cover_range () =
         (Printf.sprintf "%s covers 1..101 exactly once" (Sched.to_string sched))
         true
         (Array.for_all (fun c -> c = 1) (Array.sub seen 1 101)))
-    [ Sched.Static; Sched.Static_chunked 7; Sched.Dynamic 3 ]
+    [ Sched.Static; Sched.Static_chunked 7; Sched.Dynamic 3; Sched.Guided 1;
+      Sched.Guided 8 ]
 
 (* Static chunk boundaries are a pure function of (lo, hi, threads), so
    per-thread partial sums — and the thread-ordered combine — are
@@ -298,6 +349,26 @@ let test_pool_reuse_many_regions () =
   check_int "all regions pooled" 1000 s.Pool.regions;
   check_int "no spawn fallback" 0 s.Pool.spawn_regions;
   check_bool "tasks recorded" true (s.Pool.tasks >= 1000)
+
+(* Static chunk affinity: thread t's chunk is pinned to the worker
+   that executed it in the previous static region, and pinned tasks
+   are never stolen — so the chunk-to-worker map of identical
+   back-to-back regions is deterministic. *)
+let test_pool_affinity_deterministic () =
+  let chunk_to_worker () =
+    let m = Array.make 4 (-2) in
+    Pool.run ~threads:4 ~sched:Sched.Static ~lo:1 ~hi:400 (fun t _ _ ->
+        m.(t) <- (match Pool.current_worker () with Some w -> w | None -> -1));
+    Array.to_list m
+  in
+  let first = chunk_to_worker () in
+  check_int "thread 0 runs on the master" (-1) (List.hd first);
+  check_bool "threads 1..3 run on resident workers" true
+    (List.for_all (fun w -> w >= 0) (List.tl first));
+  for _ = 1 to 5 do
+    Alcotest.(check (list int)) "chunk-to-worker map stable across regions"
+      first (chunk_to_worker ())
+  done
 
 let test_pool_nested_region_falls_back () =
   (* a region launched from inside a worker must not deadlock on the
@@ -402,10 +473,14 @@ let suites =
           test_pool_threads_exceed_iterations;
         Alcotest.test_case "exception propagation" `Quick
           test_pool_exception_propagates;
+        Alcotest.test_case "guided decay law" `Quick test_guided_decay_law;
+        Alcotest.test_case "guided termination" `Quick test_guided_termination;
         Alcotest.test_case "schedules cover range" `Quick
           test_pool_schedules_cover_range;
         Alcotest.test_case "static reduction deterministic" `Quick
           test_pool_static_reduction_deterministic;
+        Alcotest.test_case "affinity deterministic" `Quick
+          test_pool_affinity_deterministic;
         Alcotest.test_case "reuse across 1000 regions" `Quick
           test_pool_reuse_many_regions;
         Alcotest.test_case "nested region fallback" `Quick

@@ -1,0 +1,180 @@
+(* Concurrent batch serving: results of [run_calls ~concurrency:N]
+   must be indistinguishable from sequential serving — same per-call
+   values bit-for-bit under a deterministic (static) schedule, same
+   file-order result streaming, same fault accounting — including when
+   fault-injection plans fail regions or kill workers mid-batch.
+
+   Like the fault tests, every case that installs an injection plan or
+   damages the pool restores the global defaults in a finaliser. *)
+
+open Glaf_runtime
+open Glaf_service
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The quad_sweep kernel under an explicit static schedule: chunk
+   boundaries are a pure function of (lo, hi, threads) and the
+   reduction combines per-thread partials in thread order, so a call's
+   result is bit-identical no matter which worker ran which chunk —
+   the property that makes concurrent serving transparent. *)
+let gpi_script =
+  {|program serve_conc
+module m
+function pi_mid returns real8
+  param n integer
+  grid acc real8
+  grid h real8
+  step integrate
+    set h = 1.0 / n
+    set acc = 0.0
+    foreach i = 1, n schedule static
+      set acc = acc + 4.0 / (1.0 + ((i - 0.5) * h) * ((i - 0.5) * h))
+    end foreach
+    return acc * h
+end program
+|}
+
+let compiled = lazy (Serve.compile gpi_script)
+
+let calls () =
+  Serve.parse_calls
+    "pi_mid(1000)\n\
+     pi_mid(2500)\n\
+     pi_mid(5000)\n\
+     pi_mid(7500)\n\
+     pi_mid(10000)\n\
+     pi_mid(12500)"
+
+let restore () =
+  Faultinject.clear ();
+  Pool.reset_health ();
+  Pool.set_max_respawns Pool.default_max_respawns
+
+let serve ~concurrency ?inject ?(retries = 0) () =
+  Fun.protect ~finally:restore (fun () ->
+      (match inject with
+      | None -> ()
+      | Some plan -> (
+        match Faultinject.parse_plan plan with
+        | Ok p -> Faultinject.set_plan p
+        | Error msg -> Alcotest.fail msg));
+      Serve.run_calls ~concurrency ~threads:4 ~retries (Lazy.force compiled)
+        (calls ()))
+
+(* Collapse a batch to a comparable shape: call line, success flag,
+   the result's exact bits, and the captured PRINT output. *)
+let outcome_bits b =
+  List.map
+    (fun ((c : Serve.call), r) ->
+      ( c.Serve.cl_line,
+        match r with
+        | Ok oc ->
+          ( true,
+            (match oc.Serve.oc_value with
+            | Some v -> Int64.bits_of_float (Value.to_float v)
+            | None -> 0L),
+            oc.Serve.oc_output )
+        | Error f -> (false, 0L, Fault.to_string f) ))
+    b.Serve.b_results
+
+let test_bitwise_identical_to_sequential () =
+  let seq = serve ~concurrency:1 () in
+  let conc = serve ~concurrency:4 () in
+  check_int "no sequential failures" 0 seq.Serve.b_failed;
+  check_int "no concurrent failures" 0 conc.Serve.b_failed;
+  check_bool "per-call outputs bit-identical" true
+    (outcome_bits seq = outcome_bits conc)
+
+let test_results_stream_in_file_order () =
+  Fun.protect ~finally:restore (fun () ->
+      let order = ref [] in
+      let b =
+        Serve.run_calls ~concurrency:4 ~threads:2
+          ~on_result:(fun c _ -> order := c.Serve.cl_line :: !order)
+          (Lazy.force compiled) (calls ())
+      in
+      check_int "all served" 6 b.Serve.b_ok;
+      Alcotest.(check (list int))
+        "on_result fires in calls-file order"
+        (List.map (fun (c : Serve.call) -> c.Serve.cl_line) (calls ()))
+        (List.rev !order))
+
+(* fail-region:K under overlap: the global region counter makes {e
+   which} call absorbs the injected failure schedule-dependent, but
+   the accounting must match sequential serving — exactly one runtime
+   fault, everything else served with clean-run values. *)
+let test_fail_region_parity () =
+  let clean = serve ~concurrency:1 () in
+  let seq = serve ~concurrency:1 ~inject:"fail-region:3" () in
+  let conc = serve ~concurrency:4 ~inject:"fail-region:3" () in
+  check_int "one sequential failure" 1 seq.Serve.b_failed;
+  check_int "one concurrent failure" 1 conc.Serve.b_failed;
+  check_int "same ok count" seq.Serve.b_ok conc.Serve.b_ok;
+  let clean_bits = outcome_bits clean in
+  List.iter
+    (fun ((c : Serve.call), r) ->
+      match r with
+      | Ok oc ->
+        let value_bits =
+          match oc.Serve.oc_value with
+          | Some v -> Int64.bits_of_float (Value.to_float v)
+          | None -> 0L
+        in
+        check_bool
+          (Printf.sprintf "line %d matches the clean run" c.Serve.cl_line)
+          true
+          (List.exists
+             (fun (line, (ok, bits, _)) ->
+               line = c.Serve.cl_line && ok && Int64.equal bits value_bits)
+             clean_bits)
+      | Error f ->
+        check_bool "injected failure classified as runtime" true
+          (Fault.cls_of f = Fault.Runtime))
+    conc.Serve.b_results
+
+(* kill-worker under overlap: the dying worker's chunk (and any chunks
+   pinned to its queue) surface as transient pool faults; with retries
+   the batch self-heals and every result still matches the clean
+   sequential run bit-for-bit. *)
+let test_kill_worker_retry_parity () =
+  let clean = serve ~concurrency:1 () in
+  let conc = serve ~concurrency:4 ~inject:"kill-worker:1" ~retries:3 () in
+  check_int "no failures after retries" 0 conc.Serve.b_failed;
+  check_int "all calls served" 6 conc.Serve.b_ok;
+  check_bool "bit-identical to clean sequential serving" true
+    (outcome_bits clean = outcome_bits conc);
+  check_bool "pool healed" true (Pool.health () = Pool.Healthy)
+
+(* max_errors under overlap: the batch aborts once the failure budget
+   is spent; never-attempted calls are skipped, accounting stays
+   consistent. *)
+let test_max_errors_aborts_concurrent_batch () =
+  Fun.protect ~finally:restore (fun () ->
+      (match Faultinject.parse_plan "fail-region:1,fail-region:2" with
+      | Ok p -> Faultinject.set_plan p
+      | Error msg -> Alcotest.fail msg);
+      let b =
+        Serve.run_calls ~concurrency:2 ~threads:4 ~max_errors:2
+          (Lazy.force compiled) (calls ())
+      in
+      check_bool "batch aborted" true b.Serve.b_aborted;
+      check_int "two failures" 2 b.Serve.b_failed;
+      check_int "accounting covers every call" 6
+        (b.Serve.b_ok + b.Serve.b_failed + b.Serve.b_skipped))
+
+let suites =
+  [
+    ( "serve.concurrent",
+      [
+        Alcotest.test_case "bitwise identical to sequential" `Quick
+          test_bitwise_identical_to_sequential;
+        Alcotest.test_case "results stream in file order" `Quick
+          test_results_stream_in_file_order;
+        Alcotest.test_case "fail-region parity" `Quick test_fail_region_parity;
+        Alcotest.test_case "kill-worker + retry parity" `Quick
+          test_kill_worker_retry_parity;
+        Alcotest.test_case "max-errors abort" `Quick
+          test_max_errors_aborts_concurrent_batch;
+      ] );
+  ]
