@@ -144,13 +144,23 @@ let fun_args =
 let threads_arg =
   Arg.(value & opt int 1 & info [ "threads" ] ~doc:"OpenMP thread count.")
 
+let no_bytecode_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "no-bytecode" ]
+        ~doc:
+          "Force the tree-walking interpreter for every loop body \
+           (differential testing; bytecode lowering is on by default).")
+
 let run_cmd =
-  let run script fname args threads =
+  let run script fname args threads no_bytecode =
     protect @@ fun () ->
     let annotated, _, opts = pipeline (load_script script) in
     let src = Glaf_codegen.Fortran_gen.to_source ~opts annotated in
     let st = Glaf_interp.Interp.make_state (Glaf_fortran.Parser.parse_string src) in
     Glaf_interp.Interp.set_threads st threads;
+    Glaf_interp.Interp.set_bytecode st (not no_bytecode);
     let actuals =
       List.map
         (fun a ->
@@ -168,7 +178,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and interpret a function of a GPI script")
-    Term.(const run $ script_arg $ call_arg $ fun_args $ threads_arg)
+    Term.(
+      const run $ script_arg $ call_arg $ fun_args $ threads_arg
+      $ no_bytecode_flag)
 
 (* --- serve -------------------------------------------------------------- *)
 
@@ -195,7 +207,7 @@ let schedule_arg =
     & info [ "schedule" ] ~docv:"S"
         ~doc:
           "Default loop schedule for served calls: static, chunk:K, \
-           dynamic:K or guided[:K].")
+           dynamic[:K] or guided[:K].")
 
 let stats_flag =
   Arg.(
@@ -243,11 +255,11 @@ let inject_arg =
         ~doc:
           "Install a fault-injection plan: comma-separated \
            $(b,fail-region:K), $(b,delay-chunk:K:MS), \
-           $(b,kill-worker:I[:N]) (see DESIGN.md \\S11).")
+           $(b,kill-worker:I[:N]) (see DESIGN.md section 11).")
 
 let serve_cmd =
   let run script calls_file threads sched_s stats timeout_ms retries max_errors
-      concurrency inject =
+      concurrency inject no_bytecode =
     protect @@ fun () ->
     let sched =
       match sched_s with
@@ -257,7 +269,7 @@ let serve_cmd =
         | Some sc -> Some sc
         | None ->
           usage_die
-            "unknown schedule %s (expected static, chunk:K, dynamic:K or \
+            "unknown schedule %s (expected static, chunk:K, dynamic[:K] or \
              guided[:K])"
             s)
     in
@@ -283,7 +295,7 @@ let serve_cmd =
     Glaf_runtime.Pool.reset_stats ();
     let batch =
       Glaf_service.Serve.run_calls ~concurrency ?threads ?sched ?deadline_s
-        ~retries ?max_errors
+        ~bytecode:(not no_bytecode) ~retries ?max_errors
         ~on_result:(fun _call r ->
           match r with
           | Ok oc -> Format.printf "%a@." Glaf_service.Serve.pp_outcome oc
@@ -307,7 +319,7 @@ let serve_cmd =
     Term.(
       const run $ script_arg $ calls_arg $ serve_threads_arg $ schedule_arg
       $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg
-      $ concurrency_arg $ inject_arg)
+      $ concurrency_arg $ inject_arg $ no_bytecode_flag)
 
 (* --- check -------------------------------------------------------------- *)
 

@@ -334,9 +334,9 @@ let parse_whole_expr ps =
   e
 
 (* The [schedule] clause of [foreach]: [static], [chunk:<k>],
-   [dynamic:<k>] or [guided[:<k>]], mapping to the runtime pool's loop
-   schedules.  [guided] without a chunk means the OpenMP default floor
-   of 1. *)
+   [dynamic[:<k>]] or [guided[:<k>]], mapping to the runtime pool's
+   loop schedules.  [dynamic] or [guided] without a chunk mean the
+   OpenMP default chunk/floor of 1. *)
 let parse_schedule ps =
   let next_is_colon ps =
     ps.pos + 1 < Array.length ps.toks && ps.toks.(ps.pos + 1) = Top ":"
@@ -345,6 +345,9 @@ let parse_schedule ps =
   | Some (Tid "static") ->
     advance ps;
     Stmt.Sched_static
+  | Some (Tid "dynamic") when not (next_is_colon ps) ->
+    advance ps;
+    Stmt.Sched_dynamic 1
   | Some (Tid "guided") when not (next_is_colon ps) ->
     advance ps;
     Stmt.Sched_guided 1
@@ -361,11 +364,12 @@ let parse_schedule ps =
     | _ -> fail ps.line "schedule %s: expects a positive chunk size" kind)
   | Some t ->
     fail ps.line
-      "unknown schedule %S (expected static, chunk:<k>, dynamic:<k> or \
+      "unknown schedule %S (expected static, chunk:<k>, dynamic[:<k>] or \
        guided[:<k>])"
       (token_text t)
   | None ->
-    fail ps.line "schedule expects static, chunk:<k>, dynamic:<k> or guided[:<k>]"
+    fail ps.line
+      "schedule expects static, chunk:<k>, dynamic[:<k>] or guided[:<k>]"
 
 (* --- grid declarations -------------------------------------------------- *)
 

@@ -1,0 +1,613 @@
+(** Bytecode compiler for interpreter loop bodies.
+
+    The tree-walker pays a [Hashtbl.find], an exception handler and a
+    closure allocation or two on every statement of every iteration.
+    For the hot loops this repo measures (SARB's 2x60 exchange nests,
+    FUN3D's edge loops) that per-iteration overhead dwarfs the actual
+    arithmetic, so eligible loop bodies are lowered once to a flat
+    register-style instruction array and executed by {!Vm}'s dispatch
+    loop instead.
+
+    Design rules (DESIGN.md section 13):
+    - {e Compile or fall back, never approximate.}  [compile] returns
+      [None] for any construct whose tree-walk semantics we are not
+      prepared to replicate exactly (subroutine/function calls,
+      ALLOCATE/DEALLOCATE, array sections, derived-type arrays,
+      implied-do, STOP-free [allocated()], nested parallel loops,
+      names that are not yet in scope).  The caller then runs the
+      tree-walker, so behaviour is unchanged by construction.
+    - {e Same operations, same order.}  Generated code calls the exact
+      [Value]/[Farray]/[Intrinsics] functions the tree-walker calls,
+      in the same evaluation order, so results — including error
+      messages and Fortran coercion quirks — are bit-identical.
+    - {e Names resolve late.}  Compilation classifies each name
+      against a representative scope but records only (name, field
+      path, kind); {!Vm.bind} re-resolves against the executing scope
+      (each pooled worker's private clone) and refuses mismatches,
+      falling back to the tree-walker.  Compiled programs are
+      therefore shared safely across calls, threads and states (keyed
+      by physical identity of the loop-body AST, which the parser
+      creates once). *)
+
+open Glaf_fortran
+open Glaf_runtime
+
+(** Scalar binding descriptor: [spath] is the derived-type component
+    chain ([fo%fuir] gives [sname = "fo"], [spath = ["fuir"]]). *)
+type scalar_ref = { sname : string; spath : string list }
+
+(** Array binding descriptor; [asubs] is the subscript count at the
+    use sites (0 = whole-array reference, no rank requirement). *)
+type array_ref = { aname : string; apath : string list; asubs : int }
+
+(** Register-style instructions.  [int] operands are register indices
+    except where noted; jump targets are instruction indices. *)
+type instr =
+  | Iconst of int * Value.t  (** dst <- literal / folded constant *)
+  | Icopy of int * int  (** dst <- src *)
+  | Iload of int * int  (** dst <- scalar slot (scalar id) *)
+  | Istore of int * int  (** scalar id <- coerce base src *)
+  | Istore_raw of int * int
+      (** scalar id <- src, no coercion (DO-variable stores, matching
+          the tree-walker's raw [Scalar (Int i)] writes) *)
+  | Iload_arr of int * int  (** dst <- whole-array value (array id) *)
+  | Istore_whole of int * int  (** whole-array assignment: array id, src *)
+  | Iload1 of int * int * int  (** dst, array id, index reg (rank 1) *)
+  | Iload2 of int * int * int * int  (** dst, array id, i reg, j reg *)
+  | IloadN of int * int * int array  (** dst, array id, index regs *)
+  | Istore1 of int * int * int  (** array id, index reg, src *)
+  | Istore2 of int * int * int * int  (** array id, i reg, j reg, src *)
+  | IstoreN of int * int array * int  (** array id, index regs, src *)
+  | Ibinop of Ast.binop * int * int * int  (** op, dst, a, b *)
+  | Ineg of int * int
+  | Inot of int * int
+  | Ibool of int * int  (** dst <- Bool (to_bool src) *)
+  | Ito_int of int * int  (** dst <- Int (to_int src) *)
+  | Icheck_step of int  (** error if reg is integer 0 (DO step) *)
+  | Iintr of (Value.t list -> Value.t) * int * int array
+      (** pre-resolved intrinsic: fn, dst, arg regs *)
+  | Ijmp of int
+  | Ijf of int * int  (** jump when to_bool reg is false *)
+  | Ijt of int * int  (** jump when to_bool reg is true *)
+  | Iloop_test of { ireg : int; hireg : int; stepreg : int; target : int }
+      (** nested-DO header: jump to [target] when the (Int) counter
+          has passed the bound for the step's sign *)
+  | Iinc of int * int  (** counter reg <- counter + step (Int regs) *)
+  | Iloop_fini of { sid : int; loreg : int; hireg : int; stepreg : int }
+      (** normal nested-DO completion: store the loop-completed value
+          [lo + step * max 0 ((hi-lo+step)/step)]; an EXIT jumps past
+          this, so the DO variable keeps its value at the EXIT *)
+  | Ipoll  (** cancellation poll (every 256 ticks) *)
+  | Iprint of int array
+  | Icrit_enter  (** lock the global CRITICAL/ATOMIC mutex *)
+  | Icrit_exit
+  | Ireturn  (** RETURN: raise Sub_return *)
+  | Istop of string option
+  | Iexit  (** top-level EXIT: end body, signal loop exit *)
+
+type program = {
+  code : instr array;
+  nregs : int;
+  scalars : scalar_ref array;
+  arrays : array_ref array;
+}
+
+(* --- compilation context ------------------------------------------------- *)
+
+exception Bail  (* construct not covered: caller falls back to tree-walk *)
+
+let bail () = raise Bail
+
+type vec = { mutable items : instr array; mutable len : int }
+
+let vec_create () = { items = Array.make 64 (Ijmp 0); len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.items then begin
+    let bigger = Array.make (2 * v.len) (Ijmp 0) in
+    Array.blit v.items 0 bigger 0 v.len;
+    v.items <- bigger
+  end;
+  v.items.(v.len) <- x;
+  v.len <- v.len + 1
+
+(* Enclosing loop construct, for EXIT/CYCLE lowering: where to jump
+   and how many CRITICAL locks to release on the way out. *)
+type loop_ctx = {
+  mutable exit_patches : int list;
+  mutable cont_patches : int list;  (* empty when cont_target is known *)
+  cont_target : int option;
+  crit_at_entry : int;
+}
+
+type ctx = {
+  scope : Storage.scope;
+  code : vec;
+  mutable nregs : int;
+  scalar_ids : (string * string list, int) Hashtbl.t;
+  mutable scalar_refs : scalar_ref list;  (* reversed *)
+  array_ids : (string * string list * int, int) Hashtbl.t;
+  mutable array_refs : array_ref list;  (* reversed *)
+  mutable loops : loop_ctx list;  (* innermost first *)
+  mutable crit : int;  (* compile-time CRITICAL nesting depth *)
+  mutable end_patches : int list;  (* top-level CYCLE -> end of body *)
+}
+
+let reg ctx =
+  let r = ctx.nregs in
+  ctx.nregs <- r + 1;
+  r
+
+let emit ctx i = vec_push ctx.code i
+let here ctx = ctx.code.len
+
+(* Emit a jump with a placeholder target; returns the patch site. *)
+let emit_patchable ctx i =
+  let at = here ctx in
+  emit ctx i;
+  at
+
+let patch ctx at target =
+  ctx.code.items.(at) <-
+    (match ctx.code.items.(at) with
+    | Ijmp _ -> Ijmp target
+    | Ijf (r, _) -> Ijf (r, target)
+    | Ijt (r, _) -> Ijt (r, target)
+    | Iloop_test lt -> Iloop_test { lt with target }
+    | _ -> assert false)
+
+let scalar_id ctx name path =
+  let key = (name, path) in
+  match Hashtbl.find_opt ctx.scalar_ids key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length ctx.scalar_ids in
+    Hashtbl.replace ctx.scalar_ids key id;
+    ctx.scalar_refs <- { sname = name; spath = path } :: ctx.scalar_refs;
+    id
+
+let array_id ctx name path nsubs =
+  let key = (name, path, nsubs) in
+  match Hashtbl.find_opt ctx.array_ids key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length ctx.array_ids in
+    Hashtbl.replace ctx.array_ids key id;
+    ctx.array_refs <-
+      { aname = name; apath = path; asubs = nsubs } :: ctx.array_refs;
+    id
+
+(* --- constant folding ---------------------------------------------------- *)
+
+(* Fold literal-only subtrees with the same Value operations the
+   tree-walker uses.  Anything that would raise at runtime is left
+   unfolded so the error fires in its original place and order. *)
+let rec static_eval (e : Ast.expr) : Value.t option =
+  match e with
+  | Ast.Int_lit n -> Some (Value.Int n)
+  | Ast.Real_lit (x, _) -> Some (Value.Real x)
+  | Ast.Logical_lit b -> Some (Value.Bool b)
+  | Ast.Str_lit s -> Some (Value.Str s)
+  | Ast.Unop (op, a) -> (
+    match static_eval a with
+    | None -> None
+    | Some va -> (
+      try
+        Some
+          (match op with
+          | Ast.Neg -> Value.neg va
+          | Ast.Pos -> va
+          | Ast.Not -> Value.Bool (not (Value.to_bool va)))
+      with Value.Runtime_error _ -> None))
+  | Ast.Binop (op, a, b) -> (
+    match (static_eval a, static_eval b) with
+    | Some va, Some vb -> (
+      try
+        Some
+          (match op with
+          | Ast.Add -> Value.add va vb
+          | Ast.Sub -> Value.sub va vb
+          | Ast.Mul -> Value.mul va vb
+          | Ast.Div -> Value.div va vb
+          | Ast.Pow -> Value.pow va vb
+          | Ast.Eq -> Value.Bool (Value.eq va vb)
+          | Ast.Ne -> Value.Bool (not (Value.eq va vb))
+          | Ast.Lt -> Value.Bool (Value.lt va vb)
+          | Ast.Le -> Value.Bool (Value.le va vb)
+          | Ast.Gt -> Value.Bool (Value.lt vb va)
+          | Ast.Ge -> Value.Bool (Value.le vb va)
+          | Ast.And -> Value.Bool (Value.to_bool va && Value.to_bool vb)
+          | Ast.Or -> Value.Bool (Value.to_bool va || Value.to_bool vb)
+          | Ast.Eqv -> Value.Bool (Value.to_bool va = Value.to_bool vb)
+          | Ast.Neqv -> Value.Bool (Value.to_bool va <> Value.to_bool vb)
+          | Ast.Concat -> (
+            match (va, vb) with
+            | Value.Str x, Value.Str y -> Value.Str (x ^ y)
+            | _ -> raise (Value.Runtime_error "unfoldable")))
+      with Value.Runtime_error _ -> None)
+    | _ -> None)
+  | Ast.Desig _ | Ast.Implied_do _ | Ast.Section _ -> None
+
+(* --- expressions --------------------------------------------------------- *)
+
+let has_section args =
+  List.exists (function Ast.Section _ -> true | _ -> false) args
+
+let rec compile_expr ctx (e : Ast.expr) : int =
+  match static_eval e with
+  | Some v ->
+    let r = reg ctx in
+    emit ctx (Iconst (r, v));
+    r
+  | None -> (
+    match e with
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ ->
+      assert false (* handled by static_eval *)
+    | Ast.Unop (Ast.Pos, a) -> compile_expr ctx a
+    | Ast.Unop (Ast.Neg, a) ->
+      let ra = compile_expr ctx a in
+      let r = reg ctx in
+      emit ctx (Ineg (r, ra));
+      r
+    | Ast.Unop (Ast.Not, a) ->
+      let ra = compile_expr ctx a in
+      let r = reg ctx in
+      emit ctx (Inot (r, ra));
+      r
+    | Ast.Binop (Ast.And, a, b) ->
+      (* short-circuit, like the tree-walker's (&&) *)
+      let ra = compile_expr ctx a in
+      let d = reg ctx in
+      let jfalse = emit_patchable ctx (Ijf (ra, 0)) in
+      let rb = compile_expr ctx b in
+      emit ctx (Ibool (d, rb));
+      let jend = emit_patchable ctx (Ijmp 0) in
+      patch ctx jfalse (here ctx);
+      emit ctx (Iconst (d, Value.Bool false));
+      patch ctx jend (here ctx);
+      d
+    | Ast.Binop (Ast.Or, a, b) ->
+      let ra = compile_expr ctx a in
+      let d = reg ctx in
+      let jtrue = emit_patchable ctx (Ijt (ra, 0)) in
+      let rb = compile_expr ctx b in
+      emit ctx (Ibool (d, rb));
+      let jend = emit_patchable ctx (Ijmp 0) in
+      patch ctx jtrue (here ctx);
+      emit ctx (Iconst (d, Value.Bool true));
+      patch ctx jend (here ctx);
+      d
+    | Ast.Binop (op, a, b) ->
+      let ra = compile_expr ctx a in
+      let rb = compile_expr ctx b in
+      let d = reg ctx in
+      emit ctx (Ibinop (op, d, ra, rb));
+      d
+    | Ast.Desig parts -> compile_desig_load ctx parts
+    | Ast.Implied_do _ | Ast.Section _ -> bail ())
+
+and compile_subscripts ctx args =
+  if has_section args then bail ();
+  List.map (compile_expr ctx) args
+
+and compile_elem_load ctx name path args =
+  let idx = compile_subscripts ctx args in
+  let aid = array_id ctx name path (List.length idx) in
+  let d = reg ctx in
+  (match idx with
+  | [ i ] -> emit ctx (Iload1 (d, aid, i))
+  | [ i; j ] -> emit ctx (Iload2 (d, aid, i, j))
+  | _ -> emit ctx (IloadN (d, aid, Array.of_list idx)));
+  d
+
+(* Walk a designator chain against the compile-time scope.  Only the
+   shapes the tree-walker's [eval_slot_access] supports without side
+   effects are compiled; everything else bails. *)
+and compile_slot_load ctx (slot : Storage.slot) name path args rest : int =
+  match (slot.Storage.entry, args, rest) with
+  | Storage.Scalar v, [], [] ->
+    if slot.Storage.is_param then begin
+      (* PARAMETER values are fixed by the declarations; inline them.
+         (Any body that writes a parameter bails, keeping this sound.) *)
+      match v with
+      | Value.Arr _ -> bail ()
+      | v ->
+        let r = reg ctx in
+        emit ctx (Iconst (r, v));
+        r
+    end
+    else begin
+      let sid = scalar_id ctx name path in
+      let r = reg ctx in
+      emit ctx (Iload (r, sid));
+      r
+    end
+  | Storage.Array _, [], [] ->
+    let aid = array_id ctx name path 0 in
+    let r = reg ctx in
+    emit ctx (Iload_arr (r, aid));
+    r
+  | Storage.Array _, _ :: _, [] -> compile_elem_load ctx name path args
+  | Storage.Struct obj, [], (fname, fargs) :: frest -> (
+    match Hashtbl.find_opt obj fname with
+    | Some fslot ->
+      compile_slot_load ctx fslot name (path @ [ fname ]) fargs frest
+    | None -> bail ())
+  | _ -> bail ()
+
+and compile_desig_load ctx (parts : Ast.designator) : int =
+  match parts with
+  | [] -> bail ()
+  | (name, args) :: rest -> (
+    match Storage.lookup ctx.scope name with
+    | Some slot -> compile_slot_load ctx slot name [] args rest
+    | None -> (
+      if name = "allocated" then bail ()
+      else
+        match
+          Hashtbl.find_opt Intrinsics.tbl (String.lowercase_ascii name)
+        with
+        | Some f ->
+          if rest <> [] then bail ();
+          if has_section args then bail ();
+          let argregs = List.map (compile_expr ctx) args in
+          let d = reg ctx in
+          emit ctx (Iintr (f, d, Array.of_list argregs));
+          d
+        | None -> bail () (* user function / unknown name *)))
+
+(* --- lvalues ------------------------------------------------------------- *)
+
+(* RHS register [rv] is already evaluated (the tree-walker evaluates
+   the RHS before resolving the lvalue's subscripts). *)
+let rec compile_slot_store ctx (slot : Storage.slot) name path args rest rv =
+  match (slot.Storage.entry, args, rest) with
+  | Storage.Scalar _, [], [] ->
+    if slot.Storage.is_param then bail ();
+    let sid = scalar_id ctx name path in
+    emit ctx (Istore (sid, rv))
+  | Storage.Array _, [], [] ->
+    let aid = array_id ctx name path 0 in
+    emit ctx (Istore_whole (aid, rv))
+  | Storage.Array _, _ :: _, [] -> (
+    let idx = compile_subscripts ctx args in
+    let aid = array_id ctx name path (List.length idx) in
+    match idx with
+    | [ i ] -> emit ctx (Istore1 (aid, i, rv))
+    | [ i; j ] -> emit ctx (Istore2 (aid, i, j, rv))
+    | _ -> emit ctx (IstoreN (aid, Array.of_list idx, rv)))
+  | Storage.Struct obj, [], (fname, fargs) :: frest -> (
+    match Hashtbl.find_opt obj fname with
+    | Some fslot ->
+      compile_slot_store ctx fslot name (path @ [ fname ]) fargs frest rv
+    | None -> bail ())
+  | _ -> bail ()
+
+let compile_desig_store ctx (parts : Ast.designator) rv =
+  match parts with
+  | [] -> bail ()
+  | (name, args) :: rest -> (
+    match Storage.lookup ctx.scope name with
+    | Some slot -> compile_slot_store ctx slot name [] args rest rv
+    | None -> bail () (* implicit declaration on assignment: tree-walk *))
+
+(* --- statements ---------------------------------------------------------- *)
+
+(* Release the CRITICAL locks held above [target_depth] (EXIT/CYCLE
+   jumping out of a critical section must unlock on the way, like the
+   tree-walker's Fun.protect unwinding does). *)
+let emit_unlocks ctx target_depth =
+  for _ = target_depth + 1 to ctx.crit do
+    emit ctx Icrit_exit
+  done
+
+let rec compile_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (d, e) ->
+    let rv = compile_expr ctx e in
+    compile_desig_store ctx d rv
+  | Ast.If_arith (c, s) ->
+    let rc = compile_expr ctx c in
+    let jend = emit_patchable ctx (Ijf (rc, 0)) in
+    compile_stmt ctx s;
+    patch ctx jend (here ctx)
+  | Ast.If_block (branches, else_) ->
+    let jends = ref [] in
+    List.iter
+      (fun (c, body) ->
+        let rc = compile_expr ctx c in
+        let jnext = emit_patchable ctx (Ijf (rc, 0)) in
+        List.iter (compile_stmt ctx) body;
+        jends := emit_patchable ctx (Ijmp 0) :: !jends;
+        patch ctx jnext (here ctx))
+      branches;
+    List.iter (compile_stmt ctx) else_;
+    List.iter (fun at -> patch ctx at (here ctx)) !jends
+  | Ast.Do l ->
+    if l.Ast.do_omp <> None then bail ();
+    compile_serial_do ctx l
+  | Ast.Do_while (c, body) ->
+    let head = here ctx in
+    let rc = compile_expr ctx c in
+    let jend = emit_patchable ctx (Ijf (rc, 0)) in
+    emit ctx Ipoll;
+    let lctx =
+      {
+        exit_patches = [];
+        cont_patches = [];
+        cont_target = Some head;
+        crit_at_entry = ctx.crit;
+      }
+    in
+    ctx.loops <- lctx :: ctx.loops;
+    List.iter (compile_stmt ctx) body;
+    ctx.loops <- List.tl ctx.loops;
+    emit ctx (Ijmp head);
+    patch ctx jend (here ctx);
+    List.iter (fun at -> patch ctx at (here ctx)) lctx.exit_patches
+  | Ast.Exit -> (
+    match ctx.loops with
+    | lctx :: _ ->
+      emit_unlocks ctx lctx.crit_at_entry;
+      lctx.exit_patches <- emit_patchable ctx (Ijmp 0) :: lctx.exit_patches
+    | [] ->
+      (* EXIT from the loop the VM itself is driving *)
+      emit_unlocks ctx 0;
+      emit ctx Iexit)
+  | Ast.Cycle -> (
+    match ctx.loops with
+    | lctx :: _ -> (
+      emit_unlocks ctx lctx.crit_at_entry;
+      match lctx.cont_target with
+      | Some t -> emit ctx (Ijmp t)
+      | None ->
+        lctx.cont_patches <- emit_patchable ctx (Ijmp 0) :: lctx.cont_patches)
+    | [] ->
+      emit_unlocks ctx 0;
+      ctx.end_patches <- emit_patchable ctx (Ijmp 0) :: ctx.end_patches)
+  | Ast.Return -> emit ctx Ireturn
+  | Ast.Stop msg -> emit ctx (Istop msg)
+  | Ast.Continue | Ast.Comment _ | Ast.Omp_barrier -> ()
+  | Ast.Print args ->
+    let regs = List.map (compile_expr ctx) args in
+    emit ctx (Iprint (Array.of_list regs))
+  | Ast.Omp_atomic s ->
+    if ctx.crit > 0 then bail ();
+    emit ctx Icrit_enter;
+    ctx.crit <- ctx.crit + 1;
+    compile_stmt ctx s;
+    ctx.crit <- ctx.crit - 1;
+    emit ctx Icrit_exit
+  | Ast.Omp_critical body ->
+    if ctx.crit > 0 then bail ();
+    emit ctx Icrit_enter;
+    ctx.crit <- ctx.crit + 1;
+    List.iter (compile_stmt ctx) body;
+    ctx.crit <- ctx.crit - 1;
+    emit ctx Icrit_exit
+  | Ast.Call _ | Ast.Allocate _ | Ast.Deallocate _ -> bail ()
+
+and compile_serial_do ctx (l : Ast.do_loop) =
+  let sid =
+    match Storage.lookup ctx.scope l.Ast.do_var with
+    | Some slot ->
+      if slot.Storage.is_param then bail ();
+      scalar_id ctx l.Ast.do_var []
+    | None -> bail () (* implicit DO-variable declaration: tree-walk *)
+  in
+  (* Bounds evaluate once, in the tree-walker's order (lo, hi, step),
+     then the zero-step check fires before any iteration. *)
+  let rlo = compile_expr ctx l.Ast.do_lo in
+  emit ctx (Ito_int (rlo, rlo));
+  let rhi = compile_expr ctx l.Ast.do_hi in
+  emit ctx (Ito_int (rhi, rhi));
+  let rstep =
+    match l.Ast.do_step with
+    | Some e ->
+      let r = compile_expr ctx e in
+      emit ctx (Ito_int (r, r));
+      r
+    | None ->
+      let r = reg ctx in
+      emit ctx (Iconst (r, Value.Int 1));
+      r
+  in
+  emit ctx (Icheck_step rstep);
+  let ri = reg ctx in
+  emit ctx (Icopy (ri, rlo));
+  let head = here ctx in
+  let jfini =
+    emit_patchable ctx
+      (Iloop_test { ireg = ri; hireg = rhi; stepreg = rstep; target = 0 })
+  in
+  emit ctx Ipoll;
+  emit ctx (Istore_raw (sid, ri));
+  let lctx =
+    {
+      exit_patches = [];
+      cont_patches = [];
+      cont_target = None;
+      crit_at_entry = ctx.crit;
+    }
+  in
+  ctx.loops <- lctx :: ctx.loops;
+  List.iter (compile_stmt ctx) l.Ast.do_body;
+  ctx.loops <- List.tl ctx.loops;
+  (* continue point: CYCLE lands on the increment *)
+  let cont = here ctx in
+  List.iter (fun at -> patch ctx at cont) lctx.cont_patches;
+  emit ctx (Iinc (ri, rstep));
+  emit ctx (Ijmp head);
+  patch ctx jfini (here ctx);
+  emit ctx (Iloop_fini { sid; loreg = rlo; hireg = rhi; stepreg = rstep });
+  (* EXIT jumps here, past Iloop_fini: the DO variable retains its
+     value at the point of EXIT (the satellite DO/EXIT fix, native to
+     the bytecode path) *)
+  List.iter (fun at -> patch ctx at (here ctx)) lctx.exit_patches
+
+(* --- entry points -------------------------------------------------------- *)
+
+let compile ~(scope : Storage.scope) (body : Ast.stmt list) : program option =
+  let ctx =
+    {
+      scope;
+      code = vec_create ();
+      nregs = 0;
+      scalar_ids = Hashtbl.create 16;
+      scalar_refs = [];
+      array_ids = Hashtbl.create 16;
+      array_refs = [];
+      loops = [];
+      crit = 0;
+      end_patches = [];
+    }
+  in
+  match List.iter (compile_stmt ctx) body with
+  | () ->
+    List.iter (fun at -> patch ctx at (here ctx)) ctx.end_patches;
+    Some
+      {
+        code = Array.sub ctx.code.items 0 ctx.code.len;
+        nregs = ctx.nregs;
+        scalars = Array.of_list (List.rev ctx.scalar_refs);
+        arrays = Array.of_list (List.rev ctx.array_refs);
+      }
+  | exception Bail -> None
+
+(* Compile cache, keyed by physical identity of the loop-body list:
+   the parser builds each AST once, so the same loop always presents
+   the same physical list, while structurally equal loops elsewhere
+   get their own entries.  Shared across states (serve builds a state
+   per call over one parsed AST) and guarded for worker-domain
+   compiles of loops nested in tree-walked bodies. *)
+module Phys_key = struct
+  type t = Ast.stmt list
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end
+
+module Phys_tbl = Hashtbl.Make (Phys_key)
+
+let cache : program option Phys_tbl.t = Phys_tbl.create 64
+let cache_mutex = Mutex.create ()
+
+let compile_cached ~scope (body : Ast.stmt list) : program option =
+  Mutex.lock cache_mutex;
+  match Phys_tbl.find_opt cache body with
+  | Some r ->
+    Mutex.unlock cache_mutex;
+    r
+  | None -> (
+    Mutex.unlock cache_mutex;
+    let r = compile ~scope body in
+    Mutex.lock cache_mutex;
+    (* another domain may have won the race; keep the first insert *)
+    match Phys_tbl.find_opt cache body with
+    | Some prev ->
+      Mutex.unlock cache_mutex;
+      prev
+    | None ->
+      Phys_tbl.replace cache body r;
+      Mutex.unlock cache_mutex;
+      r)

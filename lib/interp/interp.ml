@@ -19,20 +19,24 @@
 open Glaf_fortran
 open Glaf_runtime
 
-exception Fortran_error of string
+exception Fortran_error = Storage.Fortran_error
 
-let error fmt = Format.kasprintf (fun s -> raise (Fortran_error s)) fmt
+let error = Storage.error
 
-(** {1 Storage} *)
+(** {1 Storage}
 
-type entry =
+    The representation lives in {!Storage} (shared with the bytecode
+    compiler and VM); re-exported here so existing users of
+    [Interp.entry] / [Interp.scope] keep working. *)
+
+type entry = Storage.entry =
   | Scalar of Value.t
   | Array of Farray.t
   | Unalloc of Farray.elem * int  (** allocatable, not allocated: elem, rank *)
   | Struct of struct_obj
   | Struct_array of struct_obj array * (int * int) array
 
-and slot = {
+and slot = Storage.slot = {
   mutable entry : entry;
   base : Ast.base_type;
   is_param : bool;
@@ -40,7 +44,7 @@ and slot = {
 
 and struct_obj = (string, slot) Hashtbl.t
 
-type scope = {
+type scope = Storage.scope = {
   vars : (string, slot) Hashtbl.t;
   used : scope list;  (** USEd module scopes, in USE order *)
   parent : scope option;  (** enclosing module scope *)
@@ -61,38 +65,20 @@ type state = {
   mutable default_threads : int;
   mutable default_sched : Sched.t;
       (** schedule used when a directive has no SCHEDULE clause *)
+  mutable use_bytecode : bool;
+      (** lower eligible loop bodies to bytecode (default); [false]
+          forces the tree-walker everywhere ([--no-bytecode]) *)
 }
 
-let rec lookup scope name : slot option =
-  match Hashtbl.find_opt scope.vars name with
-  | Some s -> Some s
-  | None -> (
-    let rec from_used = function
-      | [] -> None
-      | u :: rest -> (
-        match Hashtbl.find_opt u.vars name with
-        | Some s -> Some s
-        | None -> from_used rest)
-    in
-    match from_used scope.used with
-    | Some s -> Some s
-    | None -> (
-      match scope.parent with
-      | Some p -> lookup p name
-      | None -> None))
-
-(* Fortran implicit typing: I-N integer, else real. *)
-let implicit_base name =
-  match name.[0] with
-  | 'i' .. 'n' -> Ast.Integer
-  | _ -> Ast.Real8
+let lookup = Storage.lookup
+let implicit_base = Storage.implicit_base
 
 (** {1 Control-flow exceptions} *)
 
-exception Loop_exit
-exception Loop_cycle
-exception Sub_return
-exception Stop_program of string option
+exception Loop_exit = Storage.Loop_exit
+exception Loop_cycle = Storage.Loop_cycle
+exception Sub_return = Storage.Sub_return
+exception Stop_program = Storage.Stop_program
 
 (** {1 State construction} *)
 
@@ -129,10 +115,12 @@ let make_state ?(printer = print_string) (cu : Ast.compilation_unit) =
     printer;
     default_threads = Omp.num_threads ();
     default_sched = Sched.default;
+    use_bytecode = true;
   }
 
 let set_threads st n = st.default_threads <- max 1 n
 let set_schedule st s = st.default_sched <- s
+let set_bytecode st b = st.use_bytecode <- b
 let allocations st = Atomic.get st.alloc_count
 let reset_allocations st = Atomic.set st.alloc_count 0
 
@@ -835,22 +823,38 @@ and exec_do_serial st scope (l : Ast.do_loop) =
         s
       end
   in
-  let continue_ i = if step > 0 then i <= hi else i >= hi in
-  (* Cooperative cancellation: poll the ambient deadline token every
-     256 iterations so a runaway serial loop honours --timeout-ms
-     (parallel loops poll at pool chunk boundaries and below). *)
-  let tick = ref 0 in
-  (try
-     let i = ref lo in
-     while continue_ !i do
-       incr tick;
-       if !tick land 255 = 0 then Fault.check_current ();
-       slot.entry <- Scalar (Value.Int !i);
-       (try exec_stmts st scope l.Ast.do_body with Loop_cycle -> ());
-       i := !i + step
-     done
-   with Loop_exit -> ());
-  slot.entry <- Scalar (Value.Int (lo + (step * max 0 ((hi - lo + step) / step))))
+  (* Hot path: lower the body to bytecode once (cached on the AST) and
+     bind it to this scope; any unsupported construct or binding
+     mismatch falls back to the tree-walk below. *)
+  let compiled =
+    if st.use_bytecode then
+      match Bytecode.compile_cached ~scope l.Ast.do_body with
+      | Some prog -> Vm.bind prog scope ~printer:st.printer
+      | None -> None
+    else None
+  in
+  match compiled with
+  | Some fr -> Vm.run_do fr ~slot ~lo ~hi ~step
+  | None ->
+    let continue_ i = if step > 0 then i <= hi else i >= hi in
+    (* Cooperative cancellation: poll the ambient deadline token every
+       256 iterations so a runaway serial loop honours --timeout-ms
+       (parallel loops poll at pool chunk boundaries and below). *)
+    let tick = ref 0 in
+    (try
+       let i = ref lo in
+       while continue_ !i do
+         incr tick;
+         if !tick land 255 = 0 then Fault.check_current ();
+         slot.entry <- Scalar (Value.Int !i);
+         (try exec_stmts st scope l.Ast.do_body with Loop_cycle -> ());
+         i := !i + step
+       done;
+       (* normal completion only: after EXIT the DO variable retains
+          its value at the point of EXIT (F2018 8.1.6.6) *)
+       slot.entry <-
+         Scalar (Value.Int (lo + (step * max 0 ((hi - lo + step) / step))))
+     with Loop_exit -> ())
 
 (* Clone a scope for one worker thread: same slot objects (shared),
    except names listed private/firstprivate/reduction and the loop
@@ -912,7 +916,14 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
   let collapse2 =
     if d.Ast.omp_collapse >= 2 then begin
       match l.Ast.do_body with
-      | [ Ast.Do inner ] when inner.Ast.do_omp = None -> Some inner
+      | [ Ast.Do inner ] when inner.Ast.do_omp = None ->
+        (* the linearization below strides the inner space by 1, so a
+           non-unit inner step would silently compute wrong indices;
+           reject it like the outer-step check above *)
+        (match inner.Ast.do_step with
+        | Some (Ast.Int_lit 1) | None -> ()
+        | Some _ -> error "COLLAPSE(2) requires a unit-step inner DO");
+        Some inner
       | _ -> error "COLLAPSE(2) requires a singly-nested inner DO"
     end
     else None
@@ -962,15 +973,31 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     let tscope = clone_scope_for_thread scope ~fresh in
     body_of_thread tscope clo chi
   in
+  (* Compile the chunk body once per loop (cached); each worker binds
+     against its private scope clone and falls back per chunk when a
+     binding does not resolve. *)
+  let compile_body body_stmts =
+    if st.use_bytecode then Bytecode.compile_cached ~scope body_stmts
+    else None
+  in
   (match collapse2 with
   | None ->
+    let prog = compile_body l.Ast.do_body in
     let body tscope clo chi =
       let slot = Hashtbl.find tscope.vars l.Ast.do_var in
-      for i = clo to chi do
-        if (i - clo) land 255 = 255 then Fault.check_current ();
-        slot.entry <- Scalar (Value.Int i);
-        try exec_stmts st tscope l.Ast.do_body with Loop_cycle -> ()
-      done
+      let fr =
+        match prog with
+        | Some p -> Vm.bind p tscope ~printer:st.printer
+        | None -> None
+      in
+      match fr with
+      | Some fr -> Vm.run_chunk fr ~slot ~clo ~chi
+      | None ->
+        for i = clo to chi do
+          if (i - clo) land 255 = 255 then Fault.check_current ();
+          slot.entry <- Scalar (Value.Int i);
+          try exec_stmts st tscope l.Ast.do_body with Loop_cycle -> ()
+        done
     in
     Omp.parallel_for ~threads ~sched ~lo ~hi (run_chunk body)
   | Some inner ->
@@ -979,20 +1006,30 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     let isize = max 0 (ihi - ilo + 1) in
     let osize = max 0 (hi - lo + 1) in
     let total = osize * isize in
-    if total > 0 then
+    if total > 0 then begin
+      let prog = compile_body inner.Ast.do_body in
       let body tscope clo chi =
         let oslot = Hashtbl.find tscope.vars l.Ast.do_var in
         let islot = Hashtbl.find tscope.vars inner.Ast.do_var in
-        for k = clo to chi do
-          if (k - clo) land 255 = 255 then Fault.check_current ();
-          let oi = lo + ((k - 1) / isize) in
-          let ii = ilo + ((k - 1) mod isize) in
-          oslot.entry <- Scalar (Value.Int oi);
-          islot.entry <- Scalar (Value.Int ii);
-          try exec_stmts st tscope inner.Ast.do_body with Loop_cycle -> ()
-        done
+        let fr =
+          match prog with
+          | Some p -> Vm.bind p tscope ~printer:st.printer
+          | None -> None
+        in
+        match fr with
+        | Some fr -> Vm.run_collapse fr ~oslot ~islot ~lo ~ilo ~isize ~clo ~chi
+        | None ->
+          for k = clo to chi do
+            if (k - clo) land 255 = 255 then Fault.check_current ();
+            let oi = lo + ((k - 1) / isize) in
+            let ii = ilo + ((k - 1) mod isize) in
+            oslot.entry <- Scalar (Value.Int oi);
+            islot.entry <- Scalar (Value.Int ii);
+            try exec_stmts st tscope inner.Ast.do_body with Loop_cycle -> ()
+          done
       in
-      Omp.parallel_for ~threads ~sched ~lo:1 ~hi:total (run_chunk body));
+      Omp.parallel_for ~threads ~sched ~lo:1 ~hi:total (run_chunk body)
+    end);
   (* combine reductions deterministically, in thread order *)
   let per_thread =
     List.sort (fun (a, _) (b, _) -> compare a b) !reduction_slots_per_thread

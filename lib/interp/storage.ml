@@ -1,0 +1,71 @@
+(** Interpreter storage: slots, scopes and control-flow exceptions.
+
+    Split out of {!Interp} so the bytecode compiler ({!Bytecode}) and
+    the dispatch loop ({!Vm}) can resolve names against the same
+    mutable storage the tree-walker uses without a module cycle.  The
+    representation is shared, not copied: a compiled loop body reads
+    and writes the very same {!slot}s and {!Glaf_runtime.Farray.t}s
+    the tree-walker would, which is what makes bit-identical fallback
+    cheap to argue about (DESIGN.md §13). *)
+
+open Glaf_fortran
+open Glaf_runtime
+
+exception Fortran_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Fortran_error s)) fmt
+
+(** {1 Storage} *)
+
+type entry =
+  | Scalar of Value.t
+  | Array of Farray.t
+  | Unalloc of Farray.elem * int  (** allocatable, not allocated: elem, rank *)
+  | Struct of struct_obj
+  | Struct_array of struct_obj array * (int * int) array
+
+and slot = {
+  mutable entry : entry;
+  base : Ast.base_type;
+  is_param : bool;
+}
+
+and struct_obj = (string, slot) Hashtbl.t
+
+type scope = {
+  vars : (string, slot) Hashtbl.t;
+  used : scope list;  (** USEd module scopes, in USE order *)
+  parent : scope option;  (** enclosing module scope *)
+  implicit_none : bool;
+}
+
+let rec lookup scope name : slot option =
+  match Hashtbl.find_opt scope.vars name with
+  | Some s -> Some s
+  | None -> (
+    let rec from_used = function
+      | [] -> None
+      | u :: rest -> (
+        match Hashtbl.find_opt u.vars name with
+        | Some s -> Some s
+        | None -> from_used rest)
+    in
+    match from_used scope.used with
+    | Some s -> Some s
+    | None -> (
+      match scope.parent with
+      | Some p -> lookup p name
+      | None -> None))
+
+(* Fortran implicit typing: I-N integer, else real. *)
+let implicit_base name =
+  match name.[0] with
+  | 'i' .. 'n' -> Ast.Integer
+  | _ -> Ast.Real8
+
+(** {1 Control-flow exceptions} *)
+
+exception Loop_exit
+exception Loop_cycle
+exception Sub_return
+exception Stop_program of string option

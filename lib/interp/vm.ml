@@ -1,0 +1,409 @@
+(** Execution engine for {!Bytecode} programs.
+
+    [bind] re-resolves a compiled program's name descriptors against
+    the executing scope (the caller's scope for serial loops, a worker
+    thread's private clone for parallel chunks), verifying that every
+    binding still has the kind the compiler saw; any mismatch returns
+    [None] and the caller falls back to the tree-walker.  [exec] is
+    the tight dispatch loop; the [run_*] drivers reproduce the
+    tree-walker's loop protocols exactly, including the
+    {!Glaf_runtime.Fault.check_current} cancellation poll every 256
+    iterations and the Fortran DO-variable completion/EXIT rules. *)
+
+open Glaf_fortran
+open Glaf_runtime
+
+(** Array binding: the backing {!Farray.t} plus pre-fetched bounds for
+    the rank-1/rank-2 fast paths (column-major: the second subscript
+    strides by the first dimension's size). *)
+type abind = {
+  ba : Farray.t;
+  b_lo1 : int;
+  b_hi1 : int;
+  b_lo2 : int;
+  b_hi2 : int;
+  b_s1 : int;
+}
+
+type frame = {
+  code : Bytecode.instr array;
+  regs : Value.t array;
+  scalars : Storage.slot array;
+  arrays : abind array;
+  printer : string -> unit;
+  mutable tick : int;
+  mutable crit : int;  (* CRITICAL locks held (0 or 1) *)
+}
+
+let dummy_slot () =
+  { Storage.entry = Storage.Scalar (Value.Int 0); base = Ast.Integer; is_param = false }
+
+let dummy_abind =
+  {
+    ba = Farray.create Farray.Eint [| (1, 0) |];
+    b_lo1 = 1;
+    b_hi1 = 0;
+    b_lo2 = 1;
+    b_hi2 = 0;
+    b_s1 = 0;
+  }
+
+let resolve_slot scope name path : Storage.slot option =
+  match Storage.lookup scope name with
+  | None -> None
+  | Some slot ->
+    let rec walk (slot : Storage.slot) = function
+      | [] -> Some slot
+      | f :: rest -> (
+        match slot.Storage.entry with
+        | Storage.Struct obj -> (
+          match Hashtbl.find_opt obj f with
+          | Some s -> walk s rest
+          | None -> None)
+        | _ -> None)
+    in
+    walk slot path
+
+let bind (p : Bytecode.program) (scope : Storage.scope) ~printer :
+    frame option =
+  let ok = ref true in
+  let scalars =
+    Array.map
+      (fun (r : Bytecode.scalar_ref) ->
+        match resolve_slot scope r.Bytecode.sname r.Bytecode.spath with
+        | Some ({ Storage.entry = Storage.Scalar _; _ } as s) -> s
+        | _ ->
+          ok := false;
+          dummy_slot ())
+      p.Bytecode.scalars
+  in
+  let arrays =
+    Array.map
+      (fun (r : Bytecode.array_ref) ->
+        match resolve_slot scope r.Bytecode.aname r.Bytecode.apath with
+        | Some { Storage.entry = Storage.Array a; _ } ->
+          let rank = Farray.rank a in
+          if r.Bytecode.asubs > 0 && r.Bytecode.asubs <> rank then begin
+            (* rank mismatch: let the tree-walker raise its error *)
+            ok := false;
+            dummy_abind
+          end
+          else begin
+            let lo1, hi1 =
+              if rank >= 1 then a.Farray.bounds.(0) else (1, 0)
+            in
+            let lo2, hi2 =
+              if rank >= 2 then a.Farray.bounds.(1) else (1, 0)
+            in
+            {
+              ba = a;
+              b_lo1 = lo1;
+              b_hi1 = hi1;
+              b_lo2 = lo2;
+              b_hi2 = hi2;
+              b_s1 = Farray.dim_size (lo1, hi1);
+            }
+          end
+        | _ ->
+          ok := false;
+          dummy_abind)
+      p.Bytecode.arrays
+  in
+  if not !ok then None
+  else
+    Some
+      {
+        code = p.Bytecode.code;
+        regs = Array.make (max 1 p.Bytecode.nregs) (Value.Int 0);
+        scalars;
+        arrays;
+        printer;
+        tick = 0;
+        crit = 0;
+      }
+
+(* Whole-array assignment, mirroring the tree-walker's assign_lvalue. *)
+let store_whole a v =
+  match v with
+  | Value.Arr src when Farray.size src = Farray.size a ->
+    let n = Farray.size a in
+    for i = 0 to n - 1 do
+      Farray.set_linear a i (Farray.get_linear src i)
+    done
+  | Value.Arr _ -> Storage.error "shape mismatch in whole-array assignment"
+  | v -> Farray.fill a (Value.to_cell v)
+
+let corrupt () = Storage.error "bytecode: register/slot invariant violated"
+
+(* Generic binop semantics, shared with the typed fast paths in [exec]:
+   exactly the tree-walker's [eval_binop] (Gt/Ge swap operands into
+   lt/le, comparisons go through [Value.compare_values]' total order). *)
+let binop_slow op va vb =
+  match op with
+  | Ast.Add -> Value.add va vb
+  | Ast.Sub -> Value.sub va vb
+  | Ast.Mul -> Value.mul va vb
+  | Ast.Div -> Value.div va vb
+  | Ast.Pow -> Value.pow va vb
+  | Ast.Eq -> Value.Bool (Value.eq va vb)
+  | Ast.Ne -> Value.Bool (not (Value.eq va vb))
+  | Ast.Lt -> Value.Bool (Value.lt va vb)
+  | Ast.Le -> Value.Bool (Value.le va vb)
+  | Ast.Gt -> Value.Bool (Value.lt vb va)
+  | Ast.Ge -> Value.Bool (Value.le vb va)
+  | Ast.Eqv -> Value.Bool (Value.to_bool va = Value.to_bool vb)
+  | Ast.Neqv -> Value.Bool (Value.to_bool va <> Value.to_bool vb)
+  | Ast.Concat -> (
+    match (va, vb) with
+    | Value.Str x, Value.Str y -> Value.Str (x ^ y)
+    | _ -> Storage.error "// expects character operands")
+  | Ast.And | Ast.Or -> corrupt () (* compiled to jumps *)
+
+(* One pass over the body.  Returns [true] when a top-level EXIT ended
+   the pass (the caller translates that into its loop's exit
+   protocol).  On any exception, CRITICAL locks still held are
+   released before re-raising, like Fun.protect in the tree-walker. *)
+let exec fr : bool =
+  let code = fr.code in
+  let regs = fr.regs in
+  let scalars = fr.scalars in
+  let arrays = fr.arrays in
+  let n = Array.length code in
+  let pc = ref 0 in
+  let exited = ref false in
+  (try
+     while !pc < n do
+       match Array.unsafe_get code !pc with
+       | Bytecode.Iconst (d, v) ->
+         regs.(d) <- v;
+         incr pc
+       | Bytecode.Icopy (d, s) ->
+         regs.(d) <- regs.(s);
+         incr pc
+       | Bytecode.Iload (d, s) ->
+         (match scalars.(s).Storage.entry with
+         | Storage.Scalar v -> regs.(d) <- v
+         | _ -> corrupt ());
+         incr pc
+       | Bytecode.Istore (s, r) ->
+         let sl = scalars.(s) in
+         sl.Storage.entry <-
+           Storage.Scalar (Value.coerce sl.Storage.base regs.(r));
+         incr pc
+       | Bytecode.Istore_raw (s, r) ->
+         scalars.(s).Storage.entry <- Storage.Scalar regs.(r);
+         incr pc
+       | Bytecode.Iload_arr (d, a) ->
+         regs.(d) <- Value.Arr arrays.(a).ba;
+         incr pc
+       | Bytecode.Istore_whole (a, r) ->
+         store_whole arrays.(a).ba regs.(r);
+         incr pc
+       | Bytecode.Iload1 (d, a, ir) ->
+         let ab = arrays.(a) in
+         let i = Value.to_int regs.(ir) in
+         if i < ab.b_lo1 || i > ab.b_hi1 then
+           Farray.subscript_error i ab.b_lo1 ab.b_hi1 1;
+         regs.(d) <- Value.of_cell (Farray.get_linear ab.ba (i - ab.b_lo1));
+         incr pc
+       | Bytecode.Iload2 (d, a, ir, jr) ->
+         let ab = arrays.(a) in
+         let i = Value.to_int regs.(ir) in
+         if i < ab.b_lo1 || i > ab.b_hi1 then
+           Farray.subscript_error i ab.b_lo1 ab.b_hi1 1;
+         let j = Value.to_int regs.(jr) in
+         if j < ab.b_lo2 || j > ab.b_hi2 then
+           Farray.subscript_error j ab.b_lo2 ab.b_hi2 2;
+         regs.(d) <-
+           Value.of_cell
+             (Farray.get_linear ab.ba
+                (i - ab.b_lo1 + ((j - ab.b_lo2) * ab.b_s1)));
+         incr pc
+       | Bytecode.IloadN (d, a, irs) ->
+         let idx = Array.map (fun r -> Value.to_int regs.(r)) irs in
+         regs.(d) <- Value.of_cell (Farray.get arrays.(a).ba idx);
+         incr pc
+       | Bytecode.Istore1 (a, ir, r) ->
+         let ab = arrays.(a) in
+         let i = Value.to_int regs.(ir) in
+         if i < ab.b_lo1 || i > ab.b_hi1 then
+           Farray.subscript_error i ab.b_lo1 ab.b_hi1 1;
+         Farray.set_linear ab.ba (i - ab.b_lo1) (Value.to_cell regs.(r));
+         incr pc
+       | Bytecode.Istore2 (a, ir, jr, r) ->
+         let ab = arrays.(a) in
+         let i = Value.to_int regs.(ir) in
+         if i < ab.b_lo1 || i > ab.b_hi1 then
+           Farray.subscript_error i ab.b_lo1 ab.b_hi1 1;
+         let j = Value.to_int regs.(jr) in
+         if j < ab.b_lo2 || j > ab.b_hi2 then
+           Farray.subscript_error j ab.b_lo2 ab.b_hi2 2;
+         Farray.set_linear ab.ba
+           (i - ab.b_lo1 + ((j - ab.b_lo2) * ab.b_s1))
+           (Value.to_cell regs.(r));
+         incr pc
+       | Bytecode.IstoreN (a, irs, r) ->
+         let idx = Array.map (fun i -> Value.to_int regs.(i)) irs in
+         Farray.set arrays.(a).ba idx (Value.to_cell regs.(r));
+         incr pc
+       | Bytecode.Ibinop (op, d, a, b) ->
+         let va = regs.(a) and vb = regs.(b) in
+         (* Typed fast paths skipping the [Value] dispatch layers; the
+            results are bit-identical to [binop_slow] — [num2]/[div]
+            reduce to the raw float/int op on same-typed operands, and
+            comparisons use the same [compare]-based total order (so
+            NaN ordering matches the tree-walker exactly). *)
+         regs.(d) <-
+           (match (va, vb) with
+           | Value.Real x, Value.Real y -> (
+             match op with
+             | Ast.Add -> Value.Real (x +. y)
+             | Ast.Sub -> Value.Real (x -. y)
+             | Ast.Mul -> Value.Real (x *. y)
+             | Ast.Div -> Value.Real (x /. y)
+             | Ast.Pow -> Value.Real (x ** y)
+             | Ast.Lt -> Value.Bool (Float.compare x y < 0)
+             | Ast.Le -> Value.Bool (Float.compare x y <= 0)
+             | Ast.Gt -> Value.Bool (Float.compare y x < 0)
+             | Ast.Ge -> Value.Bool (Float.compare y x <= 0)
+             | Ast.Eq -> Value.Bool (Float.compare x y = 0)
+             | Ast.Ne -> Value.Bool (Float.compare x y <> 0)
+             | _ -> binop_slow op va vb)
+           | Value.Int x, Value.Int y -> (
+             match op with
+             | Ast.Add -> Value.Int (x + y)
+             | Ast.Sub -> Value.Int (x - y)
+             | Ast.Mul -> Value.Int (x * y)
+             | Ast.Lt -> Value.Bool (x < y)
+             | Ast.Le -> Value.Bool (x <= y)
+             | Ast.Gt -> Value.Bool (y < x)
+             | Ast.Ge -> Value.Bool (y <= x)
+             | Ast.Eq -> Value.Bool (x = y)
+             | Ast.Ne -> Value.Bool (x <> y)
+             | _ -> binop_slow op va vb)
+           | _ -> binop_slow op va vb);
+         incr pc
+       | Bytecode.Ineg (d, s) ->
+         regs.(d) <- Value.neg regs.(s);
+         incr pc
+       | Bytecode.Inot (d, s) ->
+         regs.(d) <- Value.Bool (not (Value.to_bool regs.(s)));
+         incr pc
+       | Bytecode.Ibool (d, s) ->
+         regs.(d) <- Value.Bool (Value.to_bool regs.(s));
+         incr pc
+       | Bytecode.Ito_int (d, s) ->
+         regs.(d) <- Value.Int (Value.to_int regs.(s));
+         incr pc
+       | Bytecode.Icheck_step r ->
+         (match regs.(r) with
+         | Value.Int 0 -> Storage.error "DO loop with zero step"
+         | _ -> ());
+         incr pc
+       | Bytecode.Iintr (f, d, args) ->
+         let vals =
+           match Array.length args with
+           | 1 -> [ regs.(args.(0)) ]
+           | 2 -> [ regs.(args.(0)); regs.(args.(1)) ]
+           | _ -> Array.fold_right (fun r acc -> regs.(r) :: acc) args []
+         in
+         regs.(d) <- f vals;
+         incr pc
+       | Bytecode.Ijmp t -> pc := t
+       | Bytecode.Ijf (r, t) ->
+         if Value.to_bool regs.(r) then incr pc else pc := t
+       | Bytecode.Ijt (r, t) ->
+         if Value.to_bool regs.(r) then pc := t else incr pc
+       | Bytecode.Iloop_test { ireg; hireg; stepreg; target } -> (
+         match (regs.(ireg), regs.(hireg), regs.(stepreg)) with
+         | Value.Int i, Value.Int hi, Value.Int step ->
+           if (if step > 0 then i <= hi else i >= hi) then incr pc
+           else pc := target
+         | _ -> corrupt ())
+       | Bytecode.Iinc (ir, sr) ->
+         (match (regs.(ir), regs.(sr)) with
+         | Value.Int i, Value.Int s -> regs.(ir) <- Value.Int (i + s)
+         | _ -> corrupt ());
+         incr pc
+       | Bytecode.Iloop_fini { sid; loreg; hireg; stepreg } ->
+         (match (regs.(loreg), regs.(hireg), regs.(stepreg)) with
+         | Value.Int lo, Value.Int hi, Value.Int step ->
+           scalars.(sid).Storage.entry <-
+             Storage.Scalar
+               (Value.Int (lo + (step * max 0 ((hi - lo + step) / step))))
+         | _ -> corrupt ());
+         incr pc
+       | Bytecode.Ipoll ->
+         fr.tick <- fr.tick + 1;
+         if fr.tick land 255 = 0 then Fault.check_current ();
+         incr pc
+       | Bytecode.Iprint rs ->
+         let parts =
+           Array.fold_right
+             (fun r acc -> Value.to_string regs.(r) :: acc)
+             rs []
+         in
+         fr.printer (String.concat " " parts ^ "\n");
+         incr pc
+       | Bytecode.Icrit_enter ->
+         Mutex.lock Omp.critical_mutex;
+         fr.crit <- fr.crit + 1;
+         incr pc
+       | Bytecode.Icrit_exit ->
+         fr.crit <- fr.crit - 1;
+         Mutex.unlock Omp.critical_mutex;
+         incr pc
+       | Bytecode.Ireturn -> raise Storage.Sub_return
+       | Bytecode.Istop msg -> raise (Storage.Stop_program msg)
+       | Bytecode.Iexit ->
+         exited := true;
+         pc := n
+     done
+   with e ->
+     while fr.crit > 0 do
+       fr.crit <- fr.crit - 1;
+       Mutex.unlock Omp.critical_mutex
+     done;
+     raise e);
+  !exited
+
+(* --- loop drivers -------------------------------------------------------- *)
+
+(** Serial DO: bounds were already evaluated by the interpreter.
+    After normal completion the DO variable holds the loop-completed
+    value; after a top-level EXIT it retains the value at the EXIT. *)
+let run_do fr ~(slot : Storage.slot) ~lo ~hi ~step =
+  let continue_ i = if step > 0 then i <= hi else i >= hi in
+  let exited = ref false in
+  let i = ref lo in
+  while (not !exited) && continue_ !i do
+    fr.tick <- fr.tick + 1;
+    if fr.tick land 255 = 0 then Fault.check_current ();
+    slot.Storage.entry <- Storage.Scalar (Value.Int !i);
+    if exec fr then exited := true else i := !i + step
+  done;
+  if not !exited then
+    slot.Storage.entry <-
+      Storage.Scalar (Value.Int (lo + (step * max 0 ((hi - lo + step) / step))))
+
+(** One chunk of a parallel DO.  A top-level EXIT escapes as
+    [Loop_exit], exactly like the tree-walker's chunk body (where the
+    pool surfaces it as a region error). *)
+let run_chunk fr ~(slot : Storage.slot) ~clo ~chi =
+  for i = clo to chi do
+    if (i - clo) land 255 = 255 then Fault.check_current ();
+    slot.Storage.entry <- Storage.Scalar (Value.Int i);
+    if exec fr then raise Storage.Loop_exit
+  done
+
+(** One chunk of a COLLAPSE(2) parallel DO over the linearized
+    iteration space (unit steps, validated by the interpreter). *)
+let run_collapse fr ~(oslot : Storage.slot) ~(islot : Storage.slot) ~lo ~ilo
+    ~isize ~clo ~chi =
+  for k = clo to chi do
+    if (k - clo) land 255 = 255 then Fault.check_current ();
+    oslot.Storage.entry <- Storage.Scalar (Value.Int (lo + ((k - 1) / isize)));
+    islot.Storage.entry <-
+      Storage.Scalar (Value.Int (ilo + ((k - 1) mod isize)));
+    if exec fr then raise Storage.Loop_exit
+  done

@@ -58,6 +58,16 @@ let create elem bounds =
   in
   { elem; bounds; data }
 
+(** Raise the canonical out-of-bounds error for subscript [i] against
+    bounds [lo:hi] in (1-based) dimension [d].  Exposed so the bytecode
+    VM's specialized rank-1/rank-2 fast paths report bit-identical
+    messages to {!offset}. *)
+let subscript_error i lo hi d =
+  raise
+    (Bounds_error
+       (Printf.sprintf "subscript %d out of bounds %d:%d in dimension %d" i lo
+          hi d))
+
 (** Column-major linear offset of [indices] (Fortran order: first index
     varies fastest). *)
 let offset a indices =
@@ -72,11 +82,7 @@ let offset a indices =
   for d = 0 to n - 1 do
     let lo, hi = a.bounds.(d) in
     let i = indices.(d) in
-    if i < lo || i > hi then
-      raise
-        (Bounds_error
-           (Printf.sprintf "subscript %d out of bounds %d:%d in dimension %d"
-              i lo hi (d + 1)));
+    if i < lo || i > hi then subscript_error i lo hi (d + 1);
     off := !off + ((i - lo) * !stride);
     stride := !stride * dim_size (lo, hi)
   done;

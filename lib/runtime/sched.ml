@@ -28,12 +28,13 @@ let to_string = function
   | Guided k -> Printf.sprintf "guided:%d" k
 
 (** Parse the surface syntax shared by the CLI ([--schedule]) and the
-    [.gpi] [schedule] clause: [static], [chunk:<k>], [dynamic:<k>] or
-    [guided[:<k>]] (chunk sizes must be >= 1; [guided] alone means a
-    floor of 1). *)
+    [.gpi] [schedule] clause: [static], [chunk:<k>], [dynamic[:<k>]]
+    or [guided[:<k>]] (chunk sizes must be >= 1; bare [dynamic] and
+    [guided] mean chunk/floor 1, OpenMP's default). *)
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "static" -> Some Static
+  | "dynamic" -> Some (Dynamic 1)
   | "guided" -> Some (Guided 1)
   | s -> (
     let chunked prefix mk =

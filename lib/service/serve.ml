@@ -181,7 +181,7 @@ let classify_exn (call : call) (e : exn) : Fault.t =
   | e ->
     Fault.Runtime_fault { call = name; line; reason = Printexc.to_string e }
 
-let run_call_once ?threads ?sched ?deadline_s compiled call =
+let run_call_once ?threads ?sched ?deadline_s ?bytecode compiled call =
   let buf = Buffer.create 64 in
   let token = Fault.make_token ?deadline_s () in
   match
@@ -195,6 +195,9 @@ let run_call_once ?threads ?sched ?deadline_s compiled call =
         | None -> ());
         (match sched with
         | Some s -> Glaf_interp.Interp.set_schedule st s
+        | None -> ());
+        (match bytecode with
+        | Some b -> Glaf_interp.Interp.set_bytecode st b
         | None -> ());
         let t0 = Unix.gettimeofday () in
         let v = Glaf_interp.Interp.call st call.cl_name call.cl_args in
@@ -222,10 +225,10 @@ let run_call_once ?threads ?sched ?deadline_s compiled call =
     times, sleeping [backoff_s * 2^attempt] between tries (the pool
     heals dead workers at the next region entry, so a post-crash retry
     normally succeeds). *)
-let run_call ?threads ?sched ?deadline_s ?(retries = 0) ?(backoff_s = 0.05)
-    compiled call =
+let run_call ?threads ?sched ?deadline_s ?bytecode ?(retries = 0)
+    ?(backoff_s = 0.05) compiled call =
   let rec go attempt =
-    match run_call_once ?threads ?sched ?deadline_s compiled call with
+    match run_call_once ?threads ?sched ?deadline_s ?bytecode compiled call with
     | Ok _ as ok -> ok
     | Error f when attempt < retries && Fault.is_transient f ->
       Unix.sleepf (backoff_s *. (2.0 ** float_of_int attempt));
@@ -276,13 +279,16 @@ let summarize ~results ~skipped ~aborted =
     b_aborted = aborted;
   }
 
-let run_calls_sequential ?threads ?sched ?deadline_s ?retries ?backoff_s
-    ?max_errors ~on_result compiled calls =
+let run_calls_sequential ?threads ?sched ?deadline_s ?bytecode ?retries
+    ?backoff_s ?max_errors ~on_result compiled calls =
   let results = ref [] and failed = ref 0 in
   let rec serve = function
     | [] -> []
     | call :: rest ->
-      let r = run_call ?threads ?sched ?deadline_s ?retries ?backoff_s compiled call in
+      let r =
+        run_call ?threads ?sched ?deadline_s ?bytecode ?retries ?backoff_s
+          compiled call
+      in
       (match r with Ok _ -> () | Error _ -> incr failed);
       results := (call, r) :: !results;
       on_result call r;
@@ -323,7 +329,7 @@ type slot_result =
    and its parallel regions multiplex onto the shared worker pool.
    [on_result] is still emitted in file order: results are held back
    until every earlier call has resolved. *)
-let run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s
+let run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s ?bytecode
     ?(retries = 0) ?(backoff_s = 0.05) ?max_errors ~on_result compiled calls =
   let n = List.length calls in
   let results = Array.make n Pending in
@@ -388,7 +394,9 @@ let run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s
       let j = Queue.pop ready in
       incr active;
       Mutex.unlock mu;
-      let r = run_call_once ?threads ?sched ?deadline_s compiled j.j_call in
+      let r =
+        run_call_once ?threads ?sched ?deadline_s ?bytecode compiled j.j_call
+      in
       Mutex.lock mu;
       decr active;
       (match r with
@@ -454,14 +462,15 @@ let run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s
     deterministic schedules the per-call outputs are bit-identical —
     chunk plans and reduction combining order do not depend on which
     worker runs a chunk). *)
-let run_calls ?(concurrency = 1) ?threads ?sched ?deadline_s ?retries
-    ?backoff_s ?max_errors ?(on_result = fun _ _ -> ()) compiled calls =
+let run_calls ?(concurrency = 1) ?threads ?sched ?deadline_s ?bytecode
+    ?retries ?backoff_s ?max_errors ?(on_result = fun _ _ -> ()) compiled
+    calls =
   if concurrency <= 1 then
-    run_calls_sequential ?threads ?sched ?deadline_s ?retries ?backoff_s
-      ?max_errors ~on_result compiled calls
-  else
-    run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s ?retries
+    run_calls_sequential ?threads ?sched ?deadline_s ?bytecode ?retries
       ?backoff_s ?max_errors ~on_result compiled calls
+  else
+    run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s ?bytecode
+      ?retries ?backoff_s ?max_errors ~on_result compiled calls
 
 let pp_args ppf = function
   | [] -> Format.pp_print_string ppf "()"

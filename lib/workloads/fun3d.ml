@@ -83,10 +83,11 @@ type run_result = {
 }
 
 (** Run one variant end to end on an [ncell]-cell mesh. *)
-let run ?(threads = 4) ?(ncell = Fun3d_legacy.default_test_ncell) (v : variant)
-    : run_result =
+let run ?(threads = 4) ?(bytecode = true)
+    ?(ncell = Fun3d_legacy.default_test_ncell) (v : variant) : run_result =
   let st = Interp.make_state ~printer:ignore (integrated_cu v) in
   Interp.set_threads st threads;
+  Interp.set_bytecode st bytecode;
   ignore (Interp.call st "fun3d_init_mesh" [ Ast.Int_lit ncell ]);
   Interp.reset_allocations st;
   ignore (Interp.call st (entry_name v) []);

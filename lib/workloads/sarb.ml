@@ -84,11 +84,12 @@ type run_result = {
 }
 
 (** Execute a variant end to end through the interpreter. *)
-let run ?(threads = 4) ?(dtemp = Sarb_legacy.default_dtemp)
+let run ?(threads = 4) ?(bytecode = true) ?(dtemp = Sarb_legacy.default_dtemp)
     ?(qfac = Sarb_legacy.default_qfac) (v : variant) : run_result =
   let cu = integrated_cu v in
   let st = Interp.make_state ~printer:ignore cu in
   Interp.set_threads st threads;
+  Interp.set_bytecode st bytecode;
   ignore (Interp.call st "sarb_init_profiles" []);
   Interp.reset_allocations st;
   ignore
@@ -139,10 +140,12 @@ let verify ?(threads = 4) () =
 
 (** Wall-clock seconds for one entropy_interface invocation, measured
     on the interpreter (median of [repeats]). *)
-let measure ?(threads = 4) ?(repeats = 3) (v : variant) : float =
+let measure ?(threads = 4) ?(bytecode = true) ?(repeats = 3) (v : variant) :
+    float =
   let cu = integrated_cu v in
   let st = Interp.make_state ~printer:ignore cu in
   Interp.set_threads st threads;
+  Interp.set_bytecode st bytecode;
   ignore (Interp.call st "sarb_init_profiles" []);
   let args =
     [

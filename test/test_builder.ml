@@ -120,6 +120,7 @@ let test_schedule_clause () =
   check "static" " schedule static" (Some Stmt.Sched_static);
   check "chunk" " schedule chunk:4" (Some (Stmt.Sched_static_chunk 4));
   check "dynamic" " schedule dynamic:16" (Some (Stmt.Sched_dynamic 16));
+  check "bare dynamic" " schedule dynamic" (Some (Stmt.Sched_dynamic 1));
   check "guided" " schedule guided" (Some (Stmt.Sched_guided 1));
   check "guided with floor" " schedule guided:8" (Some (Stmt.Sched_guided 8))
 
@@ -130,8 +131,8 @@ let test_schedule_clause_errors () =
     "non-positive guided floor";
   check_script_error ~line:8 (sched_script " schedule chunk:0")
     "non-positive chunk";
-  check_script_error ~line:8 (sched_script " schedule dynamic")
-    "dynamic without chunk";
+  check_script_error ~line:8 (sched_script " schedule dynamic:0")
+    "non-positive dynamic chunk";
   check_script_error ~line:8 (sched_script " schedule static extra")
     "trailing tokens after schedule"
 

@@ -1,0 +1,473 @@
+(* Differential tests of the two execution engines: every program is
+   run twice — bytecode VM (the default) and the tree-walking
+   interpreter ([--no-bytecode]) — and the observable results must be
+   bit-identical: function values compared on their IEEE-754 bit
+   patterns, arrays cell by cell, PRINT output and runtime-error
+   messages as exact strings.  Coverage spans the shipped example
+   scripts, the SARB and FUN3D case-study workloads, all four loop
+   schedules, concurrent batch serving and fault-injection plans. *)
+
+open Glaf_fortran
+open Glaf_runtime
+open Glaf_interp
+open Glaf_workloads
+open Glaf_optimizer
+module Serve = Glaf_service.Serve
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let scripts = "../examples/scripts"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Bit-exact value equality: reals compare on their bit patterns, so
+   +0.0 vs -0.0 or any ULP drift between the engines is a failure. *)
+let value_eq a b =
+  match (a, b) with
+  | Value.Real x, Value.Real y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | a, b -> a = b
+
+let value_opt_eq a b =
+  match (a, b) with
+  | Some a, Some b -> value_eq a b
+  | None, None -> true
+  | _ -> false
+
+let pp_value_opt = function
+  | Some v -> Value.to_string v
+  | None -> "(none)"
+
+(* --- one call, both engines --------------------------------------------- *)
+
+type run_out = {
+  r_value : Value.t option option;  (** [None] when the call raised *)
+  r_output : string;
+  r_error : string option;
+}
+
+let run_engine ~bytecode ?(threads = 1) ?sched cu fname args =
+  let buf = Buffer.create 64 in
+  let st = Interp.make_state ~printer:(Buffer.add_string buf) cu in
+  Interp.set_threads st threads;
+  (match sched with Some s -> Interp.set_schedule st s | None -> ());
+  Interp.set_bytecode st bytecode;
+  let finish value error =
+    { r_value = value; r_output = Buffer.contents buf; r_error = error }
+  in
+  match Interp.call st fname args with
+  | v -> finish (Some v) None
+  | exception Interp.Fortran_error m -> finish None (Some ("fortran: " ^ m))
+  | exception Value.Runtime_error m -> finish None (Some ("value: " ^ m))
+  | exception Farray.Bounds_error m -> finish None (Some ("bounds: " ^ m))
+
+let assert_same name ?threads ?sched cu fname args =
+  let a = run_engine ~bytecode:true ?threads ?sched cu fname args in
+  let b = run_engine ~bytecode:false ?threads ?sched cu fname args in
+  check_string (name ^ ": printed output") b.r_output a.r_output;
+  (match (a.r_error, b.r_error) with
+  | None, None -> ()
+  | Some ea, Some eb -> check_string (name ^ ": error message") eb ea
+  | Some e, None ->
+    Alcotest.fail (name ^ ": only bytecode raised: " ^ e)
+  | None, Some e ->
+    Alcotest.fail (name ^ ": only tree-walk raised: " ^ e));
+  match (a.r_value, b.r_value) with
+  | Some va, Some vb ->
+    if not (value_opt_eq va vb) then
+      Alcotest.fail
+        (Printf.sprintf "%s: results differ: bytecode=%s tree-walk=%s" name
+           (pp_value_opt va) (pp_value_opt vb))
+  | None, None -> ()
+  | _ -> Alcotest.fail (name ^ ": one engine raised, the other returned")
+
+let all_scheds =
+  [
+    ("default", None);
+    ("static", Some Sched.Static);
+    ("chunk:8", Some (Sched.Static_chunked 8));
+    ("dynamic", Some (Sched.Dynamic 1));
+    ("guided", Some (Sched.Guided 2));
+  ]
+
+(* --- construct battery --------------------------------------------------- *)
+
+(* One function exercising every construct the bytecode compiler
+   covers: negative-step and EXIT/CYCLE loops, DO WHILE, short-circuit
+   logic, a COLLAPSE(2) array-write nest, an integer reduction plus a
+   CRITICAL counter (both exact under any schedule and thread count),
+   PRINT, and intrinsic calls. *)
+let battery_src =
+  {|
+module diffmod
+  implicit none
+  real*8 :: grid2(24, 17)
+  real*8 :: vec(400)
+  integer :: hits
+end module diffmod
+
+real*8 function battery(n, t)
+  use diffmod
+  implicit none
+  integer :: n, t
+  integer :: i, j, k, steps
+  real*8 :: acc, x
+  do i = 400, 1, -3
+    vec(i) = i * 0.125d0
+  end do
+  do i = 1, n
+    if (mod(i, 7) == 0) cycle
+    if (i > 350) exit
+    vec(i) = vec(i) + 1.0d0 / (1.0d0 + i)
+  end do
+  steps = 0
+  x = 1.0d0
+  do while (x < 1000.0d0 .and. steps < 64)
+    x = x * 1.7d0
+    steps = steps + 1
+  end do
+!$omp parallel do private(i, j) collapse(2) num_threads(t)
+  do i = 1, 24
+    do j = 1, 17
+      grid2(i, j) = exp(i * 0.01d0) * (j + 0.5d0) + i * 1000.0d0
+    end do
+  end do
+!$omp end parallel do
+  hits = 0
+  k = 0
+!$omp parallel do private(i) reduction(+:k) num_threads(t)
+  do i = 1, n
+    k = k + mod(i * i, 13)
+!$omp critical
+    hits = hits + 1
+!$omp end critical
+  end do
+!$omp end parallel do
+  acc = 0.0d0
+  do i = 1, 400
+    acc = acc + vec(i)
+  end do
+  do i = 1, 24
+    do j = 1, 17
+      acc = acc + grid2(i, j) * 1.0d-3
+    end do
+  end do
+  print *, 'battery', steps, hits
+  battery = acc + x + steps + k + hits
+end function battery
+|}
+
+let test_battery_diff () =
+  let cu = Parser.parse_string battery_src in
+  List.iter
+    (fun (sname, sched) ->
+      List.iter
+        (fun threads ->
+          assert_same
+            (Printf.sprintf "battery %s t=%d" sname threads)
+            ~threads ?sched cu "battery"
+            [ Ast.Int_lit 397; Ast.Int_lit threads ])
+        [ 1; 4 ])
+    all_scheds
+
+(* Error paths must surface the same message through either engine. *)
+let test_error_diff () =
+  let cu =
+    Parser.parse_string
+      {|
+real*8 function oob(i)
+  integer :: i
+  real*8 :: a(10)
+  a(3) = 1.0d0
+  oob = a(i)
+end function oob
+
+integer function zdiv(d)
+  integer :: d
+  zdiv = 7 / d
+end function zdiv
+|}
+  in
+  assert_same "oob high" cu "oob" [ Ast.Int_lit 500 ];
+  assert_same "oob low" cu "oob" [ Ast.Int_lit 0 ];
+  assert_same "oob ok" cu "oob" [ Ast.Int_lit 3 ];
+  assert_same "zdiv" cu "zdiv" [ Ast.Int_lit 0 ]
+
+(* --- example scripts ----------------------------------------------------- *)
+
+(* The script functions take array parameters the calls-file syntax
+   cannot express, so each gets a Fortran driver appended to the
+   generated source that fills the arrays and forwards the call. *)
+
+let script_unit ?(prelude = "") name driver =
+  let compiled = Serve.compile (read_file (Filename.concat scripts name)) in
+  Parser.parse_string (prelude ^ compiled.Serve.co_source ^ driver)
+
+let test_saxpy_diff () =
+  let cu =
+    script_unit "saxpy.gpi"
+      {|
+real*8 function drive_axpy(n)
+  use m
+  implicit none
+  integer :: n
+  integer :: i
+  real*8 :: x(n)
+  real*8 :: y(n)
+  do i = 1, n
+    x(i) = i * 0.5d0
+    y(i) = (n - i) * 0.25d0
+  end do
+  drive_axpy = axpy(n, 2.0d0, x, y) + y(1) + y(n)
+end function drive_axpy
+|}
+  in
+  (* axpy carries a float +-reduction: deterministic per engine at one
+     thread under every schedule, and at any thread count under the
+     static schedules (fixed chunk->thread map, fixed combine order). *)
+  List.iter
+    (fun (sname, sched) ->
+      assert_same ("saxpy " ^ sname) ~threads:1 ?sched cu "drive_axpy"
+        [ Ast.Int_lit 1000 ])
+    all_scheds;
+  List.iter
+    (fun threads ->
+      assert_same
+        (Printf.sprintf "saxpy static t=%d" threads)
+        ~threads ~sched:Sched.Static cu "drive_axpy" [ Ast.Int_lit 1000 ])
+    [ 2; 4 ]
+
+let test_point_charge_diff () =
+  let cu =
+    script_unit "point_charge.gpi"
+      {|
+real*8 function drive_charge(n)
+  use module1
+  implicit none
+  integer :: n
+  integer :: i
+  real*8 :: charge(n)
+  real*8 :: xs(n)
+  do i = 1, n
+    charge(i) = (mod(i, 5) - 2) * 1.0d-9
+    xs(i) = i * 0.01d0
+  end do
+  drive_charge = calc_point_charge(n, charge, xs, 1.2345d0)
+end function drive_charge
+|}
+  in
+  List.iter
+    (fun (sname, sched) ->
+      assert_same ("point_charge " ^ sname) ~threads:1 ?sched cu "drive_charge"
+        [ Ast.Int_lit 500 ])
+    all_scheds;
+  assert_same "point_charge static t=4" ~threads:4 ~sched:Sched.Static cu
+    "drive_charge" [ Ast.Int_lit 500 ]
+
+(* legacy_radiation integrates against pre-existing modules and a
+   COMMON block; the test supplies minimal versions of both, then
+   compares the module-resident result array cell by cell. *)
+let test_legacy_radiation_diff () =
+  let cu =
+    script_unit
+      ~prelude:
+        {|
+module fuinput
+  implicit none
+  integer :: nv1
+  real*8 :: pt(61)
+end module fuinput
+
+module fuoutput
+  implicit none
+  type :: fu_out_t
+    real*8 :: fwin(61)
+  end type fu_out_t
+  type(fu_out_t) :: fo
+end module fuoutput
+|}
+      "legacy_radiation.gpi"
+      {|
+subroutine drive_window(scale)
+  use fuinput
+  use patch
+  implicit none
+  real*8 :: scale
+  real*8 :: wnwin
+  integer :: k
+  common /entcon/ wnwin
+  wnwin = scale
+  nv1 = 60
+  do k = 1, 61
+    pt(k) = 200.0d0 + k * 1.5d0
+  end do
+  call window_flux()
+end subroutine drive_window
+|}
+  in
+  let fwin ~bytecode ~threads sched =
+    let st = Interp.make_state ~printer:ignore cu in
+    Interp.set_threads st threads;
+    (match sched with Some s -> Interp.set_schedule st s | None -> ());
+    Interp.set_bytecode st bytecode;
+    ignore (Interp.call st "drive_window" [ Ast.Real_lit (0.731, true) ]);
+    Interp.module_struct_array st ~module_name:"fuoutput" ~var:"fo"
+      ~field:"fwin"
+  in
+  List.iter
+    (fun (sname, sched) ->
+      let a = fwin ~bytecode:true ~threads:4 sched in
+      let b = fwin ~bytecode:false ~threads:4 sched in
+      check_bool
+        ("window_flux fwin identical, " ^ sname)
+        true
+        (Farray.equal_content a b);
+      (* the driver really did something *)
+      check_bool ("window_flux nonzero, " ^ sname) true (Farray.rms a > 0.0))
+    all_scheds
+
+(* --- batch serving ------------------------------------------------------- *)
+
+let quad_compiled () = Serve.compile (read_file (scripts ^ "/quad_sweep.gpi"))
+let quad_calls () = Serve.parse_calls (read_file (scripts ^ "/quad_sweep.calls"))
+
+(* Compare two served batches outcome by outcome: same per-call
+   values (bit-exact), same captured PRINT output, same fault
+   classification for failed calls.  Timing fields are ignored. *)
+let assert_batches_same name (a : Serve.batch) (b : Serve.batch) =
+  check_int (name ^ ": ok count") b.Serve.b_ok a.Serve.b_ok;
+  check_int (name ^ ": failed count") b.Serve.b_failed a.Serve.b_failed;
+  check_int (name ^ ": result count")
+    (List.length b.Serve.b_results)
+    (List.length a.Serve.b_results);
+  List.iter2
+    (fun (ca, ra) (cb, rb) ->
+      let where =
+        Printf.sprintf "%s: line %d %s" name ca.Serve.cl_line ca.Serve.cl_name
+      in
+      check_int (where ^ ": same call") cb.Serve.cl_line ca.Serve.cl_line;
+      match (ra, rb) with
+      | Ok oa, Ok ob ->
+        check_bool
+          (where ^ ": value bit-identical")
+          true
+          (value_opt_eq oa.Serve.oc_value ob.Serve.oc_value);
+        check_string (where ^ ": output") ob.Serve.oc_output oa.Serve.oc_output
+      | Error fa, Error fb ->
+        check_string (where ^ ": fault") (Fault.to_string fb)
+          (Fault.to_string fa)
+      | Ok _, Error f ->
+        Alcotest.fail (where ^ ": only tree-walk failed: " ^ Fault.to_string f)
+      | Error f, Ok _ ->
+        Alcotest.fail (where ^ ": only bytecode failed: " ^ Fault.to_string f))
+    a.Serve.b_results b.Serve.b_results
+
+let test_serve_schedules_diff () =
+  let compiled = quad_compiled () and calls = quad_calls () in
+  List.iter
+    (fun (sname, sched) ->
+      let run bytecode =
+        Serve.run_calls ~threads:1 ?sched ~bytecode compiled calls
+      in
+      assert_batches_same ("serve " ^ sname) (run true) (run false))
+    all_scheds
+
+let test_serve_concurrent_diff () =
+  let compiled = quad_compiled () and calls = quad_calls () in
+  let run bytecode =
+    Serve.run_calls ~concurrency:3 ~threads:1 ~bytecode compiled calls
+  in
+  assert_batches_same "serve concurrency=3" (run true) (run false)
+
+(* Under an installed fault plan both engines must fail the same call
+   with the same classification: region numbering is identical because
+   chunk dispatch is engine-independent. *)
+let test_serve_inject_diff () =
+  let compiled = quad_compiled () and calls = quad_calls () in
+  let plan =
+    match Faultinject.parse_plan "fail-region:2,delay-chunk:1:1" with
+    | Ok p -> p
+    | Error m -> Alcotest.fail ("bad plan: " ^ m)
+  in
+  let run bytecode =
+    Faultinject.set_plan plan;
+    Fun.protect
+      ~finally:(fun () -> Faultinject.clear ())
+      (fun () -> Serve.run_calls ~threads:1 ~bytecode compiled calls)
+  in
+  let a = run true and b = run false in
+  check_int "one injected failure" 1 a.Serve.b_failed;
+  assert_batches_same "serve inject" a b
+
+(* --- case-study workloads ------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let assert_sarb_same name (a : Sarb.run_result) (b : Sarb.run_result) =
+  check_bool (name ^ ": checksum bit-identical") true
+    (bits a.Sarb.checksum = bits b.Sarb.checksum);
+  check_bool (name ^ ": toa bit-identical") true
+    (bits a.Sarb.toa_lw = bits b.Sarb.toa_lw
+    && bits a.Sarb.toa_sw = bits b.Sarb.toa_sw);
+  List.iter
+    (fun (fname, fa, fb) ->
+      check_bool
+        (Printf.sprintf "%s: %s identical" name fname)
+        true (Farray.equal_content fa fb))
+    [
+      ("fuir", a.Sarb.fuir, b.Sarb.fuir);
+      ("fdir", a.Sarb.fdir, b.Sarb.fdir);
+      ("fds", a.Sarb.fds, b.Sarb.fds);
+      ("sen_lw", a.Sarb.sen_lw, b.Sarb.sen_lw);
+    ]
+
+let test_sarb_diff () =
+  List.iter
+    (fun (label, threads, v) ->
+      assert_sarb_same label
+        (Sarb.run ~threads ~bytecode:true v)
+        (Sarb.run ~threads ~bytecode:false v))
+    [
+      ("sarb original serial", 1, Sarb.Original_serial);
+      ("sarb glaf serial", 1, Sarb.Glaf_serial);
+      ("sarb glaf parallel v0 t=3", 3, Sarb.Glaf_parallel Directive_policy.V0);
+      ("sarb glaf parallel v2 t=3", 3, Sarb.Glaf_parallel Directive_policy.V2);
+    ]
+
+let test_fun3d_diff () =
+  List.iter
+    (fun (label, v) ->
+      let a = Fun3d.run ~threads:1 ~ncell:60 ~bytecode:true v in
+      let b = Fun3d.run ~threads:1 ~ncell:60 ~bytecode:false v in
+      check_bool (label ^ ": rms bit-identical") true
+        (bits a.Fun3d.rms = bits b.Fun3d.rms);
+      check_bool (label ^ ": rms finite") true (Float.is_finite a.Fun3d.rms))
+    [
+      ("fun3d original", Fun3d.Original_serial);
+      ("fun3d glaf serial", Fun3d.Glaf Fun3d_glaf.serial_options);
+      ("fun3d glaf best", Fun3d.Glaf Fun3d_glaf.best_options);
+    ]
+
+let suites =
+  [
+    ( "bytecode.diff",
+      [
+        Alcotest.test_case "construct battery" `Quick test_battery_diff;
+        Alcotest.test_case "error paths" `Quick test_error_diff;
+        Alcotest.test_case "saxpy script" `Quick test_saxpy_diff;
+        Alcotest.test_case "point_charge script" `Quick test_point_charge_diff;
+        Alcotest.test_case "legacy_radiation script" `Quick
+          test_legacy_radiation_diff;
+        Alcotest.test_case "serve schedules" `Quick test_serve_schedules_diff;
+        Alcotest.test_case "serve concurrent" `Quick test_serve_concurrent_diff;
+        Alcotest.test_case "serve inject" `Quick test_serve_inject_diff;
+        Alcotest.test_case "sarb workload" `Quick test_sarb_diff;
+        Alcotest.test_case "fun3d workload" `Quick test_fun3d_diff;
+      ] );
+  ]

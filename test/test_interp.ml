@@ -737,6 +737,68 @@ end subroutine f
 |}
     "f" [ Ast.Int_lit 50 ]
 
+(* A COLLAPSE(2) nest whose inner DO has a non-unit step must be
+   rejected loudly: the linearised index maths assumes unit step, so
+   silently ignoring the step would execute the wrong iterations. *)
+let test_error_collapse_nonunit_inner_step () =
+  let st =
+    state_of
+      {|
+subroutine f(n)
+  integer :: n
+  integer :: i, j
+  real*8 :: a(100)
+!$omp parallel do private(i, j) collapse(2)
+  do i = 1, 10
+    do j = 1, n, 2
+      a(i) = a(i) + 1.0d0
+    end do
+  end do
+!$omp end parallel do
+end subroutine f
+|}
+  in
+  match Interp.call st "f" [ Ast.Int_lit 9 ] with
+  | _ -> Alcotest.fail "expected COLLAPSE(2) non-unit inner step to be rejected"
+  | exception Interp.Fortran_error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    check_bool "names the restriction" true
+      (contains msg "COLLAPSE(2) requires a unit-step inner DO")
+
+(* After EXIT the DO variable retains its value at the point of EXIT;
+   only normal completion stores the completed value (F2018 8.1.6.6).
+   The tree-walker used to store the completed value unconditionally —
+   exercised on both execution engines. *)
+let test_do_var_after_exit () =
+  List.iter
+    (fun bytecode ->
+      let st =
+        state_of
+          {|
+integer function exit_var(n)
+  integer :: n
+  integer :: i
+  do i = 1, n
+    if (i == 5) exit
+  end do
+  exit_var = i
+end function exit_var
+|}
+      in
+      Interp.set_bytecode st bytecode;
+      let eng = if bytecode then "bytecode" else "tree-walk" in
+      check_int (eng ^ ": value retained at EXIT") 5
+        (Value.to_int (call_scalar st "exit_var" [ Ast.Int_lit 10 ]));
+      check_int (eng ^ ": completed value without EXIT") 4
+        (Value.to_int (call_scalar st "exit_var" [ Ast.Int_lit 3 ])))
+    [ true; false ]
+
 (* implicit typing honoured when IMPLICIT NONE is absent *)
 let test_implicit_typing () =
   let st =
@@ -781,6 +843,7 @@ let suites =
         Alcotest.test_case "exit/cycle" `Quick test_do_loops_exit_cycle;
         Alcotest.test_case "negative step" `Quick test_do_step;
         Alcotest.test_case "do while" `Quick test_do_while;
+        Alcotest.test_case "do var after exit" `Quick test_do_var_after_exit;
         Alcotest.test_case "main + print" `Quick test_main_program_print;
         Alcotest.test_case "stop" `Quick test_stop_statement;
         Alcotest.test_case "implicit typing" `Quick test_implicit_typing;
@@ -794,6 +857,8 @@ let suites =
         Alcotest.test_case "division by zero" `Quick test_error_division_by_zero;
         Alcotest.test_case "unknown subroutine" `Quick test_error_unknown_subroutine;
         Alcotest.test_case "parallel non-unit step" `Quick test_error_parallel_nonunit_step;
+        Alcotest.test_case "collapse non-unit inner step" `Quick
+          test_error_collapse_nonunit_inner_step;
       ] );
     ( "interp.integration",
       [

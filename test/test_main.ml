@@ -11,6 +11,7 @@ let () =
          Test_workloads.suites;
          Test_runtime.suites;
          Test_faults.suites;
+         Test_bytecode_diff.suites;
          Test_serve_concurrent.suites;
          Test_perf_integration.suites;
          Test_cli.suites;

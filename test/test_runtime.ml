@@ -198,6 +198,8 @@ let test_sched_of_string () =
   check_bool "static" true (Sched.of_string "static" = Some Sched.Static);
   check_bool "chunk" true (Sched.of_string "chunk:8" = Some (Sched.Static_chunked 8));
   check_bool "dynamic" true (Sched.of_string "dynamic:2" = Some (Sched.Dynamic 2));
+  check_bool "bare dynamic means chunk 1" true
+    (Sched.of_string "dynamic" = Some (Sched.Dynamic 1));
   check_bool "zero chunk rejected" true (Sched.of_string "chunk:0" = None);
   check_bool "guided default floor" true
     (Sched.of_string "guided" = Some (Sched.Guided 1));
