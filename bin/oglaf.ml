@@ -37,6 +37,8 @@ let protect f =
   | Glaf_interp.Interp.Fortran_error msg -> die "runtime error: %s" msg
   | Glaf_runtime.Value.Runtime_error msg -> die "runtime error: %s" msg
   | Glaf_runtime.Farray.Bounds_error msg -> die "runtime error: %s" msg
+  | Glaf_lift.Lower.Unsupported msg -> die "lift error: %s" msg
+  | Glaf_lift.Lift_kernel.Lift_error msg -> die "lift error: %s" msg
   | Sys_error msg -> die "%s" msg
 
 let load_script path =
@@ -349,10 +351,15 @@ let check_cmd =
 
 (* --- sloc --------------------------------------------------------------- *)
 
+(* a plain string, not Arg.file: a missing file is a diagnosed run
+   failure (exit 1, one line via [protect]), not a usage error *)
+let fortran_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Fortran source file")
+
 let sloc_cmd =
-  let file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Fortran source")
-  in
   let run file =
     protect @@ fun () ->
     let cu = Glaf_fortran.Parser.parse_string (read_file file) in
@@ -362,7 +369,158 @@ let sloc_cmd =
   in
   Cmd.v
     (Cmd.info "sloc" ~doc:"Per-subprogram SLOC of a Fortran source file")
-    Term.(const run $ file_arg)
+    Term.(const run $ fortran_file_arg)
+
+(* --- autopar ------------------------------------------------------------- *)
+
+let parse_cli_call ~what s =
+  match Glaf_fortran.Parser.parse_expr_string s with
+  | Glaf_fortran.Ast.Desig [ (n, args) ] -> (String.lowercase_ascii n, args)
+  | _ -> usage_die "%s must be a call like 'sub(1.5, 2)': %s" what s
+  | exception Glaf_fortran.Parser.Parse_error (_, msg) ->
+    usage_die "bad %s %S: %s" what s msg
+
+let autopar_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "directives"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,directives) annotates the source in place with !\\$OMP \
+             PARALLEL DO; $(b,lift) raises one subprogram into the grid IR \
+             and regenerates it as a parallel kernel.")
+  in
+  let kernel_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel" ] ~docv:"SUB"
+          ~doc:"Subprogram to lift (required in lift mode).")
+  in
+  let call_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "call" ] ~docv:"CALL"
+          ~doc:
+            "Verification entry call on the $(i,original) name, e.g. \
+             'adjust2(1.5, 1.02)'.  Lift mode defaults to the lifted \
+             kernel with synthesized scalar arguments.")
+  in
+  let setup_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "setup" ] ~docv:"CALL"
+          ~doc:
+            "Setup call executed before verification on both versions \
+             (repeatable), e.g. 'sarb_init_profiles()'.")
+  in
+  let no_verify_flag =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip the interpreter equivalence verification.")
+  in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:"Print only the per-loop analysis report, to stdout.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the generated source to FILE instead of stdout.")
+  in
+  let emit out source =
+    match out with
+    | None -> print_string source
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc source)
+  in
+  let verified_line n =
+    Printf.eprintf "oglaf: verified: %d configurations bit-identical\n" n
+  in
+  let run file mode kernel call setup no_verify report_only out =
+    protect @@ fun () ->
+    let setup = List.map (parse_cli_call ~what:"--setup") setup in
+    let cu = Glaf_fortran.Parser.parse_string (read_file file) in
+    match mode with
+    | "directives" ->
+      let result = Glaf_lift.Autopar_fortran.run ~pure cu in
+      if report_only then
+        Format.printf "%a@?" Glaf_lift.Autopar_fortran.pp_report result
+      else begin
+        Format.eprintf "%a@?" Glaf_lift.Autopar_fortran.pp_report result;
+        (match (no_verify, call) with
+        | false, Some c ->
+          let name, args = parse_cli_call ~what:"--call" c in
+          (match
+             Glaf_lift.Verify.equivalent ~setup ~args ~original:(cu, name)
+               ~variant:(result.Glaf_lift.Autopar_fortran.annotated, name) ()
+           with
+          | Ok n -> verified_line n
+          | Error msg -> die "verification failed: %s" msg)
+        | _ -> ());
+        emit out
+          (Glaf_fortran.Pp_ast.to_string
+             result.Glaf_lift.Autopar_fortran.annotated)
+      end
+    | "lift" ->
+      let kname =
+        match kernel with
+        | Some k -> k
+        | None -> usage_die "lift mode needs --kernel SUB"
+      in
+      let lifted = Glaf_lift.Lift_kernel.lift ~pure cu kname in
+      if report_only then
+        Format.printf "%a@?" Glaf_analysis.Autopar.pp_report
+          lifted.Glaf_lift.Lift_kernel.report
+      else begin
+        Format.eprintf "%a@?" Glaf_analysis.Autopar.pp_report
+          lifted.Glaf_lift.Lift_kernel.report;
+        if not no_verify then begin
+          let args =
+            match call with
+            | Some c ->
+              let name, args = parse_cli_call ~what:"--call" c in
+              if
+                String.lowercase_ascii kname <> name
+              then
+                usage_die "--call names %s but the lifted kernel is %s" name
+                  kname;
+              args
+            | None ->
+              Glaf_lift.Verify.synthesize_args lifted.Glaf_lift.Lift_kernel.func
+          in
+          match
+            Glaf_lift.Verify.equivalent ~setup ~args
+              ~original:(cu, String.lowercase_ascii kname)
+              ~variant:
+                ( lifted.Glaf_lift.Lift_kernel.combined,
+                  lifted.Glaf_lift.Lift_kernel.kernel )
+              ()
+          with
+          | Ok n -> verified_line n
+          | Error msg -> die "verification failed: %s" msg
+        end;
+        emit out lifted.Glaf_lift.Lift_kernel.source
+      end
+    | other -> usage_die "unknown mode %s (expected directives or lift)" other
+  in
+  Cmd.v
+    (Cmd.info "autopar"
+       ~doc:
+         "Auto-parallelize legacy Fortran: insert OMP directives or lift a \
+          kernel into the grid IR")
+    Term.(
+      const run $ fortran_file_arg $ mode_arg $ kernel_arg $ call_arg
+      $ setup_arg $ no_verify_flag $ report_flag $ out_arg)
 
 (* --- case studies -------------------------------------------------------- *)
 
@@ -418,7 +576,7 @@ let () =
   let code =
     Cmd.eval
       (Cmd.group info
-         [ compile_cmd; analyze_cmd; run_cmd; serve_cmd; check_cmd; sloc_cmd; sarb_cmd; fun3d_cmd ])
+         [ compile_cmd; analyze_cmd; run_cmd; serve_cmd; check_cmd; sloc_cmd; autopar_cmd; sarb_cmd; fun3d_cmd ])
   in
   (* cmdliner reports CLI misuse as 124; the documented usage-error
      code is 2 (1 is reserved for diagnosed run failures) *)

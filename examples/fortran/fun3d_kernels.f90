@@ -1,0 +1,264 @@
+
+module mesh_mod
+  implicit none
+  integer, parameter :: nq = 5
+  integer, parameter :: npc = 4
+  integer, parameter :: nec = 6
+  integer :: ncell
+  integer :: nnode
+  integer, allocatable :: cell_nodes(:, :)
+  real*8, allocatable :: cell_vol(:)
+  real*8, allocatable :: face_area(:, :)
+  real*8, allocatable :: face_angle(:, :)
+  real*8, allocatable :: q(:, :)
+  ! local edge-endpoint tables: edge e connects cell nodes ed1(e), ed2(e)
+  integer :: ed1(6)
+  integer :: ed2(6)
+  real*8 :: angle_limit
+end module mesh_mod
+
+module jac_mod
+  implicit none
+  real*8, allocatable :: ajac(:, :)
+  real*8 :: ref_rms
+end module jac_mod
+
+
+subroutine fun3d_init_mesh(nc)
+  use mesh_mod
+  use jac_mod
+  implicit none
+  integer :: nc
+  integer :: c, n, p, i, s
+  ncell = nc
+  nnode = max(nc / 5, 64) + 8
+  ! keep 37*d nonzero mod nnode (d = 1..3) so the stride-37 cell
+  ! connectivity below never repeats a node within one cell
+  if (mod(nnode, 37) == 0) nnode = nnode + 1
+  allocate(cell_nodes(npc, ncell))
+  allocate(cell_vol(ncell))
+  allocate(face_area(npc, ncell))
+  allocate(face_angle(npc, ncell))
+  allocate(q(nq, nnode))
+  allocate(ajac(nq, nnode))
+  ! fixed tetrahedral edge tables
+  ed1(1) = 1; ed2(1) = 2
+  ed1(2) = 1; ed2(2) = 3
+  ed1(3) = 1; ed2(3) = 4
+  ed1(4) = 2; ed2(4) = 3
+  ed1(5) = 2; ed2(5) = 4
+  ed1(6) = 3; ed2(6) = 4
+  angle_limit = 0.97d0
+  ! Lehmer-style generator; all values in (0, 1)
+  s = 12345
+  do n = 1, nnode
+    do i = 1, nq
+      s = mod(s * 1103 + 12347, 65521)
+      q(i, n) = 0.2d0 + 1.6d0 * s / 65521.0d0
+    end do
+  end do
+  do c = 1, ncell
+    ! one connectivity seed per cell + fixed stride: all four nodes
+    ! of a cell are distinct
+    s = mod(s * 1103 + 12347, 65521)
+    do p = 1, npc
+      cell_nodes(p, c) = 1 + mod(s + c + p * 37, nnode)
+    end do
+    do p = 1, npc
+      s = mod(s * 1103 + 12347, 65521)
+      face_area(p, c) = 0.1d0 + 0.9d0 * s / 65521.0d0
+      s = mod(s * 1103 + 12347, 65521)
+      face_angle(p, c) = s * 1.0d0 / 65521.0d0
+    end do
+    s = mod(s * 1103 + 12347, 65521)
+    cell_vol(c) = 0.5d0 + 1.5d0 * s / 65521.0d0
+  end do
+  return
+end subroutine fun3d_init_mesh
+
+subroutine jacobian_fill()
+
+  use mesh_mod
+  use jac_mod
+  implicit none
+  integer :: c, n, i, f, p, e, p1, p2, n1, n2, ipos1, ipos2
+  real*8 :: qn(5, 4)
+  real*8 :: grad(3, 5)
+  real*8 :: fl(5), fr(5), df(5)
+  real*8 :: amax, w
+
+  ! zero the output matrix rows
+  do n = 1, nnode
+    do i = 1, nq
+      ajac(i, n) = 0.0d0
+    end do
+  end do
+  do c = 1, ncell
+    ! --- cell-face angle check: skip strongly skewed cells ---
+    amax = 0.0d0
+    do f = 1, npc
+      amax = max(amax, face_angle(f, c))
+    end do
+    if (amax > angle_limit) cycle
+    ! --- gather nodal state into cell-local storage ---
+    do p = 1, npc
+      n1 = cell_nodes(p, c)
+      do i = 1, nq
+        qn(i, p) = q(i, n1)
+      end do
+    end do
+    ! --- Green-Gauss gradients from face sweeps ---
+    do i = 1, nq
+      grad(1, i) = 0.0d0
+      grad(2, i) = 0.0d0
+      grad(3, i) = 0.0d0
+    end do
+    do f = 1, npc
+      w = face_area(f, c) / cell_vol(c)
+      do i = 1, nq
+        grad(1, i) = grad(1, i) + w * qn(i, f) * 0.71d0
+        grad(2, i) = grad(2, i) + w * qn(i, f) * 0.53d0
+        grad(3, i) = grad(3, i) - w * qn(i, f) * 0.39d0
+      end do
+    end do
+    ! --- edge flux Jacobian contributions ---
+    do e = 1, nec
+      p1 = ed1(e)
+      p2 = ed2(e)
+      n1 = cell_nodes(p1, c)
+      n2 = cell_nodes(p2, c)
+      ! offset search: position of each endpoint in the cell row
+      ! (mirrors the CSR off-diagonal search of the real solver)
+      ipos1 = 0
+      do p = 1, npc
+        if (cell_nodes(p, c) == n1) then
+          ipos1 = p
+          exit
+        end if
+      end do
+      ipos2 = 0
+      do p = 1, npc
+        if (cell_nodes(p, c) == n2) then
+          ipos2 = p
+          exit
+        end if
+      end do
+      w = face_area(p1, c) * 0.5d0 + face_area(p2, c) * 0.5d0
+      do i = 1, nq
+        fl(i) = 0.5d0 * (qn(i, ipos1) + qn(i, ipos2)) * w
+        fr(i) = grad(1, i) * 0.31d0 + grad(2, i) * 0.21d0 + grad(3, i) * 0.11d0
+        df(i) = (fl(i) + fr(i) * cell_vol(c)) / (1.0d0 + abs(fl(i)))
+      end do
+
+      do i = 1, nq
+        ajac(i, n1) = ajac(i, n1) + df(i)
+        ajac(i, n2) = ajac(i, n2) - df(i)
+      end do
+    end do
+  end do
+  return
+end subroutine jacobian_fill
+
+subroutine jacobian_fill_manual()
+
+  use mesh_mod
+  use jac_mod
+  implicit none
+  integer :: c, n, i, f, p, e, p1, p2, n1, n2, ipos1, ipos2
+  real*8 :: qn(5, 4)
+  real*8 :: grad(3, 5)
+  real*8 :: fl(5), fr(5), df(5)
+  real*8 :: amax, w
+
+  ! zero the output matrix rows
+  do n = 1, nnode
+    do i = 1, nq
+      ajac(i, n) = 0.0d0
+    end do
+  end do
+!$omp parallel do private(c, n, i, f, p, e, p1, p2, n1, n2, ipos1, ipos2, qn, grad, fl, fr, df, amax, w)
+  do c = 1, ncell
+    ! --- cell-face angle check: skip strongly skewed cells ---
+    amax = 0.0d0
+    do f = 1, npc
+      amax = max(amax, face_angle(f, c))
+    end do
+    if (amax > angle_limit) cycle
+    ! --- gather nodal state into cell-local storage ---
+    do p = 1, npc
+      n1 = cell_nodes(p, c)
+      do i = 1, nq
+        qn(i, p) = q(i, n1)
+      end do
+    end do
+    ! --- Green-Gauss gradients from face sweeps ---
+    do i = 1, nq
+      grad(1, i) = 0.0d0
+      grad(2, i) = 0.0d0
+      grad(3, i) = 0.0d0
+    end do
+    do f = 1, npc
+      w = face_area(f, c) / cell_vol(c)
+      do i = 1, nq
+        grad(1, i) = grad(1, i) + w * qn(i, f) * 0.71d0
+        grad(2, i) = grad(2, i) + w * qn(i, f) * 0.53d0
+        grad(3, i) = grad(3, i) - w * qn(i, f) * 0.39d0
+      end do
+    end do
+    ! --- edge flux Jacobian contributions ---
+    do e = 1, nec
+      p1 = ed1(e)
+      p2 = ed2(e)
+      n1 = cell_nodes(p1, c)
+      n2 = cell_nodes(p2, c)
+      ! offset search: position of each endpoint in the cell row
+      ! (mirrors the CSR off-diagonal search of the real solver)
+      ipos1 = 0
+      do p = 1, npc
+        if (cell_nodes(p, c) == n1) then
+          ipos1 = p
+          exit
+        end if
+      end do
+      ipos2 = 0
+      do p = 1, npc
+        if (cell_nodes(p, c) == n2) then
+          ipos2 = p
+          exit
+        end if
+      end do
+      w = face_area(p1, c) * 0.5d0 + face_area(p2, c) * 0.5d0
+      do i = 1, nq
+        fl(i) = 0.5d0 * (qn(i, ipos1) + qn(i, ipos2)) * w
+        fr(i) = grad(1, i) * 0.31d0 + grad(2, i) * 0.21d0 + grad(3, i) * 0.11d0
+        df(i) = (fl(i) + fr(i) * cell_vol(c)) / (1.0d0 + abs(fl(i)))
+      end do
+
+      do i = 1, nq
+!$omp atomic
+        ajac(i, n1) = ajac(i, n1) + df(i)
+!$omp atomic
+        ajac(i, n2) = ajac(i, n2) - df(i)
+      end do
+    end do
+  end do
+
+!$omp end parallel do
+  return
+end subroutine jacobian_fill_manual
+
+
+real*8 function fun3d_rms()
+  use mesh_mod
+  use jac_mod
+  implicit none
+  integer :: n, i
+  real*8 :: s
+  s = 0.0d0
+  do n = 1, nnode
+    do i = 1, nq
+      s = s + ajac(i, n) * ajac(i, n)
+    end do
+  end do
+  fun3d_rms = sqrt(s / (nq * nnode))
+end function fun3d_rms

@@ -928,7 +928,46 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     end
     else None
   in
-  let reduction_slots_per_thread = ref [] in
+  (* One reduction accumulator per *thread*, reused across every chunk
+     that thread executes, so each thread folds its iterations in
+     execution order.  With a single thread the accumulator is seeded
+     from the shared variable's current value and written back verbatim
+     at the end, which makes an annotated loop bit-identical to its
+     serial execution under every schedule — the property the lift
+     verifier relies on. *)
+  let serial_team = threads <= 1 in
+  let red_by_thread : (int, (string * slot) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let reduction_slots_for t =
+    if d.Ast.omp_reduction = [] then []
+    else
+      Omp.critical (fun () ->
+          match Hashtbl.find_opt red_by_thread t with
+          | Some red -> red
+          | None ->
+            let red =
+              List.concat_map
+                (fun (op, names) ->
+                  List.map
+                    (fun n ->
+                      let base, seed =
+                        match lookup scope n with
+                        | Some { entry = Scalar v; base; _ } when serial_team
+                          ->
+                          (base, v)
+                        | Some s -> (s.base, reduction_identity op s.base)
+                        | None ->
+                          let base = implicit_base n in
+                          (base, reduction_identity op base)
+                      in
+                      (n, { entry = Scalar seed; base; is_param = false }))
+                    names)
+                d.Ast.omp_reduction
+            in
+            Hashtbl.add red_by_thread t red;
+            red)
+  in
   let run_chunk body_of_thread t clo chi =
     let fresh =
       (* loop variable(s) always private *)
@@ -946,29 +985,7 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
           (fun n -> (n, firstprivate_copy_of_slot scope n))
           d.Ast.omp_firstprivate
       in
-      let red =
-        List.concat_map
-          (fun (op, names) ->
-            List.map
-              (fun n ->
-                let base =
-                  match lookup scope n with
-                  | Some s -> s.base
-                  | None -> implicit_base n
-                in
-                ( n,
-                  {
-                    entry = Scalar (reduction_identity op base);
-                    base;
-                    is_param = false;
-                  } ))
-              names)
-          d.Ast.omp_reduction
-      in
-      Omp.critical (fun () ->
-          reduction_slots_per_thread :=
-            (t, red) :: !reduction_slots_per_thread);
-      priv @ fpriv @ red
+      priv @ fpriv @ reduction_slots_for t
     in
     let tscope = clone_scope_for_thread scope ~fresh in
     body_of_thread tscope clo chi
@@ -1032,7 +1049,8 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     end);
   (* combine reductions deterministically, in thread order *)
   let per_thread =
-    List.sort (fun (a, _) (b, _) -> compare a b) !reduction_slots_per_thread
+    Hashtbl.fold (fun t red acc -> (t, red) :: acc) red_by_thread []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.iter
     (fun (op, names) ->
@@ -1049,12 +1067,22 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
             | _ -> error "reduction variable %s is not scalar" n
           in
           let final =
-            List.fold_left
-              (fun acc (_, red) ->
+            if serial_team then
+              (* seeded from the shared value: the single thread's
+                 accumulator already IS the serial result *)
+              match per_thread with
+              | [ (_, red) ] -> (
                 match List.assoc_opt n red with
-                | Some { entry = Scalar v; _ } -> combine_reduction op acc v
-                | _ -> acc)
-              initial per_thread
+                | Some { entry = Scalar v; _ } -> v
+                | _ -> initial)
+              | _ -> initial (* zero-trip loop: no chunk ever ran *)
+            else
+              List.fold_left
+                (fun acc (_, red) ->
+                  match List.assoc_opt n red with
+                  | Some { entry = Scalar v; _ } -> combine_reduction op acc v
+                  | _ -> acc)
+                initial per_thread
           in
           shared.entry <- Scalar (Value.coerce shared.base final))
         names)

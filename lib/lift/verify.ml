@@ -1,0 +1,247 @@
+(** Equivalence-by-construction for lifted/annotated kernels.
+
+    Every lift is checked before it ships: the original subprogram and
+    the lifted (or annotated) version run through the interpreter on
+    the same inputs, and the results must be {e bit-identical} — return
+    value, PRINT output, every module variable, every COMMON member,
+    every derived-type element, compared by [Int64.bits_of_float] for
+    reals.  The variant additionally runs under every schedule the
+    runtime implements; at one thread each schedule must reproduce the
+    serial bits exactly (the interpreter folds single-thread reductions
+    in serial order, see [exec_do_parallel]).
+
+    This reuses the differential-testing discipline of
+    [test/test_bytecode_diff.ml], pointed at the lift pipeline. *)
+
+open Glaf_fortran
+open Glaf_runtime
+open Glaf_interp
+
+type outcome = {
+  o_value : Value.t option option;
+      (** [None] = raised; [Some v] = returned, with the call's value *)
+  o_output : string;  (** PRINT output *)
+  o_error : string option;
+  o_state : (string * string) list;  (** sorted (path, encoded bits) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bit-exact encodings                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let encode_float x = Printf.sprintf "f%Lx" (Int64.bits_of_float x)
+
+let encode_value : Value.t -> string = function
+  | Value.Int n -> "i" ^ string_of_int n
+  | Value.Real x -> encode_float x
+  | Value.Bool b -> if b then "T" else "F"
+  | Value.Str s -> "s" ^ s
+  | Value.Arr a ->
+    let b = Buffer.create 64 in
+    for i = 0 to Farray.size a - 1 do
+      Buffer.add_string b
+        (match Farray.get_linear a i with
+        | Farray.Cf x -> encode_float x
+        | Farray.Ci n -> string_of_int n
+        | Farray.Cb v -> if v then "T" else "F"
+        | Farray.Cs s -> s);
+      Buffer.add_char b ','
+    done;
+    Buffer.contents b
+
+let encode_cell : Farray.cell -> string = function
+  | Farray.Cf x -> encode_float x
+  | Farray.Ci n -> "i" ^ string_of_int n
+  | Farray.Cb b -> if b then "T" else "F"
+  | Farray.Cs s -> "s" ^ s
+
+let rec snapshot_slot path (s : Interp.slot) acc =
+  if s.Interp.is_param then acc
+  else
+    match s.Interp.entry with
+    | Interp.Scalar v -> (path, encode_value v) :: acc
+    | Interp.Array a ->
+      let n = Farray.size a in
+      let rec go i acc =
+        if i >= n then acc
+        else
+          go (i + 1)
+            (( path ^ "[" ^ string_of_int i ^ "]",
+               encode_cell (Farray.get_linear a i) )
+            :: acc)
+      in
+      go 0 acc
+    | Interp.Unalloc _ -> (path, "unallocated") :: acc
+    | Interp.Struct obj -> snapshot_obj path obj acc
+    | Interp.Struct_array (objs, _) ->
+      let acc = ref acc in
+      Array.iteri
+        (fun i obj ->
+          acc :=
+            snapshot_obj (path ^ "[" ^ string_of_int i ^ "]") obj !acc)
+        objs;
+      !acc
+
+and snapshot_obj path obj acc =
+  Hashtbl.fold (fun f s acc -> snapshot_slot (path ^ "%" ^ f) s acc) obj acc
+
+(** Every observable piece of persistent state: module variables and
+    COMMON members.  Modules are force-initialized first so both sides
+    enumerate the same scopes even when one side never touched a
+    module. *)
+let snapshot (st : Interp.state) : (string * string) list =
+  List.iter
+    (function
+      | Ast.Module m -> ignore (Interp.init_module st m.Ast.mod_name)
+      | _ -> ())
+    st.Interp.cu;
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun mod_name (scope : Interp.scope) ->
+      Hashtbl.iter
+        (fun v s -> acc := snapshot_slot (mod_name ^ "." ^ v) s !acc)
+        scope.Interp.vars)
+    st.Interp.module_scopes;
+  Hashtbl.iter
+    (fun block tbl ->
+      Hashtbl.iter
+        (fun v s -> acc := snapshot_slot ("/" ^ block ^ "/" ^ v) s !acc)
+        tbl)
+    st.Interp.commons;
+  List.sort compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Running one configuration                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Run [name(args)] (after the [setup] calls) on a fresh interpreter
+    state and capture value + output + persistent state. *)
+let run_call ?(bytecode = true) ?(threads = 1) ?sched ?(setup = [])
+    (cu : Ast.compilation_unit) (name : string) (args : Ast.expr list) :
+    outcome =
+  let buf = Buffer.create 256 in
+  let st = Interp.make_state ~printer:(Buffer.add_string buf) cu in
+  Interp.set_bytecode st bytecode;
+  Interp.set_threads st threads;
+  (match sched with Some s -> Interp.set_schedule st s | None -> ());
+  let value, error =
+    try
+      List.iter (fun (f, a) -> ignore (Interp.call st f a)) setup;
+      (Some (Interp.call st name args), None)
+    with
+    | Interp.Fortran_error m -> (None, Some ("fortran error: " ^ m))
+    | Value.Runtime_error m -> (None, Some ("runtime error: " ^ m))
+    | Farray.Bounds_error m -> (None, Some ("bounds error: " ^ m))
+  in
+  {
+    o_value = value;
+    o_output = Buffer.contents buf;
+    o_error = error;
+    o_state = snapshot st;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let value_str = function
+  | None -> "<no value>"
+  | Some v -> encode_value v
+
+let compare_outcomes ~(label : string) (a : outcome) (b : outcome) :
+    (unit, string) result =
+  let fail fmt = Format.kasprintf (fun s -> Error (label ^ ": " ^ s)) fmt in
+  match (a.o_error, b.o_error) with
+  | Some ea, Some eb ->
+    if String.equal ea eb then Ok ()
+    else fail "errors differ: %s vs %s" ea eb
+  | Some ea, None -> fail "original raised (%s), variant succeeded" ea
+  | None, Some eb -> fail "variant raised: %s" eb
+  | None, None -> (
+    let va = Option.value ~default:None a.o_value in
+    let vb = Option.value ~default:None b.o_value in
+    let vsa = Option.map encode_value va and vsb = Option.map encode_value vb in
+    if vsa <> vsb then
+      fail "return values differ: %s vs %s"
+        (value_str va) (value_str vb)
+    else if not (String.equal a.o_output b.o_output) then
+      fail "PRINT output differs (%d vs %d bytes)"
+        (String.length a.o_output) (String.length b.o_output)
+    else
+      let rec diff sa sb =
+        match (sa, sb) with
+        | [], [] -> Ok ()
+        | (pa, va) :: ra, (pb, vb) :: rb when String.equal pa pb ->
+          if String.equal va vb then diff ra rb
+          else fail "%s differs: %s vs %s" pa va vb
+        | (pa, _) :: _, (pb, _) :: _ ->
+          fail "state shape differs at %s vs %s" pa pb
+        | (pa, _) :: _, [] -> fail "variant lost state at %s" pa
+        | [], (pb, _) :: _ -> fail "variant gained state at %s" pb
+      in
+      diff a.o_state b.o_state)
+
+(* ------------------------------------------------------------------ *)
+(* The verification matrix                                             *)
+(* ------------------------------------------------------------------ *)
+
+let schedules : (string * Sched.t option) list =
+  [
+    ("default", None);
+    ("static", Some Sched.Static);
+    ("static,8", Some (Sched.Static_chunked 8));
+    ("dynamic,1", Some (Sched.Dynamic 1));
+    ("guided,2", Some (Sched.Guided 2));
+  ]
+
+(** Verify that [variant_name] in [variant_cu] is bit-identical to
+    [name] in [cu] on the given inputs: the original runs serially
+    once, the variant runs under every schedule (at each thread count
+    in [threads], default 1).  Returns the number of configurations
+    checked, or the first difference. *)
+let equivalent ?(setup = []) ?(args = []) ?(threads = [ 1 ])
+    ~original:(cu, name) ~variant:(variant_cu, variant_name) () :
+    (int, string) result =
+  let baseline = run_call ~setup cu name args in
+  (* a failing baseline verifies nothing — reject instead of comparing
+     error strings, so a typo in --setup can't "verify" vacuously *)
+  (match baseline.o_error with
+  | Some e -> raise (Lift_kernel.Lift_error ("original run failed: " ^ e))
+  | None -> ());
+  let checks = ref 0 in
+  let rec loop = function
+    | [] -> Ok !checks
+    | (t, (sname, sched)) :: rest -> (
+      let got = run_call ~threads:t ?sched ~setup variant_cu variant_name args in
+      let label = Printf.sprintf "schedule %s, threads %d" sname t in
+      match compare_outcomes ~label baseline got with
+      | Ok () ->
+        incr checks;
+        loop rest
+      | Error _ as e -> e)
+  in
+  loop
+    (List.concat_map (fun t -> List.map (fun s -> (t, s)) schedules) threads)
+
+(** Deterministic argument synthesis for a lifted kernel: scalar dummy
+    arguments get fixed, position-dependent values ("generated inputs"
+    — the verifier needs {e some} input vector when the caller supplies
+    none). *)
+let synthesize_args (f : Glaf_ir.Func.t) : Ast.expr list =
+  List.mapi
+    (fun i p ->
+      match Glaf_ir.Func.find_grid f p with
+      | Some g when Glaf_ir.Grid.is_scalar g -> (
+        match Glaf_ir.Grid.elem_type g with
+        | Glaf_ir.Types.T_int -> Ast.Int_lit (i + 2)
+        | Glaf_ir.Types.T_logical -> Ast.Logical_lit true
+        | Glaf_ir.Types.T_string -> Ast.Str_lit "x"
+        | _ -> Ast.Real_lit (0.5 +. (0.75 *. float_of_int (i + 1)), true))
+      | _ ->
+        raise
+          (Lift_kernel.Lift_error
+             (Printf.sprintf
+                "cannot synthesize a value for array argument %s; pass \
+                 --call with explicit arguments"
+                p)))
+    f.Glaf_ir.Func.params

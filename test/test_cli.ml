@@ -324,6 +324,96 @@ let test_sloc_command () =
     check_bool "lists subprogram" true (contains out "s")
   end
 
+let fixtures = "../examples/fortran"
+let sarb_fixture = fixtures ^ "/sarb_kernels.f90"
+
+let test_sloc_error_contract () =
+  require_available ();
+  begin
+    (* missing file: diagnosed run failure, one line, exit 1 *)
+    let rc, out = run_capture (Printf.sprintf "%s sloc /nonexistent.f90" exe) in
+    check_bool "missing file exits 1" true (rc = 1);
+    check_bool "one-line diagnostic" true (contains out "oglaf:");
+    check_bool "no backtrace" false (contains out "Raised at");
+    (* unparsable file: exit 1 with the line number *)
+    let src = Filename.temp_file "oglaf_sloc_bad" ".f90" in
+    let oc = open_out src in
+    output_string oc "subroutine broken(\nend";
+    close_out oc;
+    let rc, out = run_capture (Printf.sprintf "%s sloc %s" exe (Filename.quote src)) in
+    check_bool "parse error exits 1" true (rc = 1);
+    check_bool "parse diagnostic" true (contains out "parse error at line")
+  end
+
+let test_autopar_directives () =
+  require_available ();
+  begin
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s autopar %s --mode directives --setup 'sarb_init_profiles()' \
+            --call 'entropy_interface(1.5d0, 1.02d0)'"
+           exe sarb_fixture)
+    in
+    check_bool "exit 0" true (rc = 0);
+    check_bool "parallel do emitted" true (contains out "!$omp parallel do");
+    check_bool "reduction clause" true (contains out "reduction(+:colq)");
+    check_bool "verified" true (contains out "verified:");
+    check_bool "report included" true (contains out "loop over")
+  end
+
+let test_autopar_lift () =
+  require_available ();
+  begin
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s autopar %s --mode lift --kernel adjust2 --setup \
+            'sarb_init_profiles()' --call 'adjust2(1.5d0, 1.02d0)'"
+           exe sarb_fixture)
+    in
+    check_bool "exit 0" true (rc = 0);
+    check_bool "lifted kernel emitted" true (contains out "adjust2_lifted");
+    check_bool "verified" true (contains out "verified:")
+  end
+
+let test_autopar_error_contract () =
+  require_available ();
+  begin
+    let rc, out =
+      run_capture (Printf.sprintf "%s autopar %s --mode bogus" exe sarb_fixture)
+    in
+    check_bool "unknown mode exits 2" true (rc = 2);
+    check_bool "mode diagnostic" true (contains out "unknown mode");
+    let rc, out =
+      run_capture (Printf.sprintf "%s autopar %s --mode lift" exe sarb_fixture)
+    in
+    check_bool "missing kernel exits 2" true (rc = 2);
+    check_bool "kernel diagnostic" true (contains out "--kernel");
+    let rc, out =
+      run_capture
+        (Printf.sprintf "%s autopar %s --mode lift --kernel nosuch" exe
+           sarb_fixture)
+    in
+    check_bool "unknown kernel exits 1" true (rc = 1);
+    check_bool "kernel named" true (contains out "nosuch");
+    let rc, out =
+      run_capture (Printf.sprintf "%s autopar /nonexistent.f90" exe)
+    in
+    check_bool "missing file exits 1" true (rc = 1);
+    check_bool "no backtrace" false (contains out "Raised at");
+    (* a broken --setup call must fail verification, not pass vacuously *)
+    let rc, out =
+      run_capture
+        (Printf.sprintf
+           "%s autopar %s --mode lift --kernel adjust2 --setup 'nope()' \
+            --call 'adjust2(1.0d0, 1.0d0)'"
+           exe sarb_fixture)
+    in
+    check_bool "broken setup exits 1" true (rc = 1);
+    check_bool "names the failure" true (contains out "original run failed")
+  end
+
 let suites =
   [
     ( "cli",
@@ -344,5 +434,10 @@ let suites =
           test_serve_concurrency_flag;
         Alcotest.test_case "check legacy" `Quick test_check_against_legacy;
         Alcotest.test_case "sloc" `Quick test_sloc_command;
+        Alcotest.test_case "sloc error contract" `Quick test_sloc_error_contract;
+        Alcotest.test_case "autopar directives" `Quick test_autopar_directives;
+        Alcotest.test_case "autopar lift" `Quick test_autopar_lift;
+        Alcotest.test_case "autopar error contract" `Quick
+          test_autopar_error_contract;
       ] );
   ]

@@ -443,6 +443,14 @@ let roundtrip src =
 
 let test_roundtrip_saxpy () = roundtrip simple_subroutine
 
+(* the rewriter in lib/lift regenerates legacy sources from the AST:
+   print/parse must be a fixed point on everything we ship *)
+let test_roundtrip_legacy_sarb () =
+  roundtrip Glaf_workloads.Sarb_legacy.full_source
+
+let test_roundtrip_legacy_fun3d () =
+  roundtrip Glaf_workloads.Fun3d_legacy.full_source
+
 let test_roundtrip_rich () =
   roundtrip
     {|
@@ -708,6 +716,8 @@ let suites =
       [
         Alcotest.test_case "saxpy" `Quick test_roundtrip_saxpy;
         Alcotest.test_case "rich module" `Quick test_roundtrip_rich;
+        Alcotest.test_case "legacy sarb" `Quick test_roundtrip_legacy_sarb;
+        Alcotest.test_case "legacy fun3d" `Quick test_roundtrip_legacy_fun3d;
         QCheck_alcotest.to_alcotest prop_subprogram_roundtrip;
       ] );
     ("fortran.sloc", [ Alcotest.test_case "counting" `Quick test_sloc ]);

@@ -14,5 +14,6 @@ let () =
          Test_bytecode_diff.suites;
          Test_serve_concurrent.suites;
          Test_perf_integration.suites;
+         Test_lift.suites;
          Test_cli.suites;
        ])
