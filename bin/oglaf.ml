@@ -39,6 +39,11 @@ let protect f =
   | Glaf_runtime.Farray.Bounds_error msg -> die "runtime error: %s" msg
   | Glaf_lift.Lower.Unsupported msg -> die "lift error: %s" msg
   | Glaf_lift.Lift_kernel.Lift_error msg -> die "lift error: %s" msg
+  | Glaf_service.Listener.Listener_error msg -> die "%s" msg
+  | Unix.Unix_error (e, fn, arg) ->
+    die "%s%s: %s" fn
+      (if arg = "" then "" else " " ^ arg)
+      (Unix.error_message e)
   | Sys_error msg -> die "%s" msg
 
 let load_script path =
@@ -186,9 +191,17 @@ let run_cmd =
 
 (* --- serve -------------------------------------------------------------- *)
 
+(* serve's SCRIPT is optional at the Arg level: client mode
+   (--connect) takes no script; server/batch modes validate below. *)
+let serve_script_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"SCRIPT" ~doc:"GPI action script")
+
 let calls_arg =
   Arg.(
-    required
+    value
     & opt (some file) None
     & info [ "calls" ] ~docv:"FILE"
         ~doc:"Calls file: one 'function(arg, ...)' per line.")
@@ -257,11 +270,128 @@ let inject_arg =
         ~doc:
           "Install a fault-injection plan: comma-separated \
            $(b,fail-region:K), $(b,delay-chunk:K:MS), \
-           $(b,kill-worker:I[:N]) (see DESIGN.md section 11).")
+           $(b,kill-worker:I[:N]) (see DESIGN.md section 11). \
+           Takes precedence over $(b,OGLAF_INJECT).")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"SOCK"
+        ~doc:
+          "Serve forever on a Unix domain socket at SOCK (newline-delimited \
+           requests, one JSON response line each; see the README wire-protocol \
+           section). Drains and exits 0 on SIGTERM/SIGINT.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Client mode: send the $(b,--calls) file (or $(b,--status)) to a \
+           server started with $(b,--listen) and print each JSON response \
+           line. Exits 1 if any call failed.")
+
+let status_flag =
+  Arg.(
+    value & flag
+    & info [ "status" ]
+        ~doc:"With $(b,--connect): query the server's one-line status JSON.")
+
+let max_pending_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Admission high-water mark for $(b,--listen): requests arriving \
+           while N are already queued are shed with a structured overload \
+           fault instead of queueing unboundedly.")
+
+(* Server mode: compile once, answer requests on the socket until
+   SIGTERM/SIGINT, then drain (finish every admitted call) and print a
+   one-line summary.  Exit 0 on a clean drain. *)
+let serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
+    ~concurrency ~max_pending ~no_bytecode ~stats =
+  let module L = Glaf_service.Listener in
+  let script_path =
+    match script with
+    | Some s -> s
+    | None -> usage_die "--listen needs a SCRIPT to serve"
+  in
+  let config =
+    {
+      (L.default_config ~socket) with
+      L.lc_max_pending = max_pending;
+      lc_executors = concurrency;
+      lc_threads = threads;
+      lc_sched = sched;
+      lc_deadline_s = deadline_s;
+      lc_bytecode = not no_bytecode;
+      lc_retries = retries;
+    }
+  in
+  match L.create ~config (read_file script_path) with
+  | Error fault -> die "%s" (Glaf_runtime.Fault.to_string fault)
+  | Ok srv ->
+    let stop _ = L.request_stop srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Glaf_runtime.Pool.reset_stats ();
+    Printf.eprintf "oglaf: listening on %s (max-pending %d, executors %d)\n%!"
+      socket max_pending concurrency;
+    let final = L.serve srv in
+    Printf.eprintf "oglaf: %s\n%!" (L.summary_line final);
+    if stats then
+      Format.printf "%a" Glaf_runtime.Pool.pp_stats (Glaf_runtime.Pool.stats ())
+
+(* Client mode: lock-step request/response over the socket, one JSON
+   line printed per call.  Exit 1 if any response was a fault or the
+   server stopped answering. *)
+let serve_connect ~socket ~calls_file ~status_q =
+  let module L = Glaf_service.Listener in
+  let cl = L.Client.connect socket in
+  Fun.protect ~finally:(fun () -> L.Client.close cl) @@ fun () ->
+  if status_q then
+    match L.Client.request cl "status" with
+    | Some line -> print_endline line
+    | None -> die "no status reply from %s" socket
+  else begin
+    let calls_path =
+      match calls_file with
+      | Some p -> p
+      | None -> usage_die "--connect needs --calls FILE or --status"
+    in
+    let any_failed = ref false in
+    let send line =
+      match L.Client.request cl ("run " ^ line) with
+      | Some resp ->
+        print_endline resp;
+        (* our JSON writer is deterministic: a fault response always
+           carries this exact token *)
+        let is_fault =
+          let tok = "\"ok\":false" in
+          let n = String.length resp and m = String.length tok in
+          let rec scan i =
+            i + m <= n && (String.sub resp i m = tok || scan (i + 1))
+          in
+          scan 0
+        in
+        if is_fault then any_failed := true
+      | None ->
+        any_failed := true;
+        Printf.eprintf "oglaf: no reply for %s (server gone?)\n%!" line
+    in
+    String.split_on_char '\n' (read_file calls_path)
+    |> List.iter (fun raw ->
+           let s = String.trim raw in
+           if s <> "" && s.[0] <> '#' then send s);
+    if !any_failed then exit 1
+  end
 
 let serve_cmd =
   let run script calls_file threads sched_s stats timeout_ms retries max_errors
-      concurrency inject no_bytecode =
+      concurrency inject no_bytecode listen connect status_q max_pending =
     protect @@ fun () ->
     let sched =
       match sched_s with
@@ -276,9 +406,12 @@ let serve_cmd =
             s)
     in
     if concurrency < 1 then usage_die "--concurrency must be >= 1";
+    if max_pending < 1 then usage_die "--max-pending must be >= 1";
     (match inject with
     | None -> ()
     | Some plan -> (
+      (* replaces any OGLAF_INJECT plan installed at load: the
+         explicit flag wins over the environment *)
       match Glaf_runtime.Faultinject.parse_plan plan with
       | Ok p -> Glaf_runtime.Faultinject.set_plan p
       | Error msg -> usage_die "bad --inject plan: %s" msg));
@@ -292,36 +425,63 @@ let serve_cmd =
       | Some ms when ms >= 1 -> Some (float_of_int ms /. 1e3)
       | Some ms -> usage_die "--timeout-ms must be >= 1, got %d" ms
     in
-    let compiled = Glaf_service.Serve.compile (read_file script) in
-    let calls = Glaf_service.Serve.parse_calls (read_file calls_file) in
-    Glaf_runtime.Pool.reset_stats ();
-    let batch =
-      Glaf_service.Serve.run_calls ~concurrency ?threads ?sched ?deadline_s
-        ~bytecode:(not no_bytecode) ~retries ?max_errors
-        ~on_result:(fun _call r ->
-          match r with
-          | Ok oc -> Format.printf "%a@." Glaf_service.Serve.pp_outcome oc
-          | Error f ->
-            Format.printf "[FAULT] %s@." (Glaf_runtime.Fault.to_string f))
-        compiled calls
-    in
-    if stats then
-      Format.printf "%a" Glaf_runtime.Pool.pp_stats
-        (Glaf_runtime.Pool.stats ());
-    if batch.Glaf_service.Serve.b_failed > 0 then begin
-      Format.eprintf "oglaf: %a@." Glaf_service.Serve.pp_batch_summary batch;
-      exit 1
-    end
+    match (listen, connect) with
+    | Some _, Some _ -> usage_die "--listen and --connect are mutually exclusive"
+    | Some socket, None ->
+      (match calls_file with
+      | Some _ ->
+        usage_die "--calls is for batch or --connect mode; --listen serves \
+                   requests from the socket"
+      | None -> ());
+      serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
+        ~concurrency ~max_pending ~no_bytecode ~stats
+    | None, Some socket ->
+      (match script with
+      | Some _ -> usage_die "SCRIPT is not used with --connect (the server owns it)"
+      | None -> ());
+      serve_connect ~socket ~calls_file ~status_q
+    | None, None ->
+      if status_q then usage_die "--status needs --connect SOCK";
+      let script_path =
+        match script with Some s -> s | None -> usage_die "missing SCRIPT"
+      in
+      let calls_path =
+        match calls_file with
+        | Some p -> p
+        | None -> usage_die "batch mode needs --calls FILE (or use --listen)"
+      in
+      let compiled = Glaf_service.Serve.compile (read_file script_path) in
+      let calls = Glaf_service.Serve.parse_calls (read_file calls_path) in
+      Glaf_runtime.Pool.reset_stats ();
+      let batch =
+        Glaf_service.Serve.run_calls ~concurrency ?threads ?sched ?deadline_s
+          ~bytecode:(not no_bytecode) ~retries ?max_errors
+          ~on_result:(fun _call r ->
+            match r with
+            | Ok oc -> Format.printf "%a@." Glaf_service.Serve.pp_outcome oc
+            | Error f ->
+              Format.printf "[FAULT] %s@." (Glaf_runtime.Fault.to_string f))
+          compiled calls
+      in
+      if stats then
+        Format.printf "%a" Glaf_runtime.Pool.pp_stats
+          (Glaf_runtime.Pool.stats ());
+      if batch.Glaf_service.Serve.b_failed > 0 then begin
+        Format.eprintf "oglaf: %a@." Glaf_service.Serve.pp_batch_summary batch;
+        exit 1
+      end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Compile a GPI script once and serve a batch of kernel calls \
-          from it")
+         "Compile a GPI script once and serve kernel calls from it: a batch \
+          from --calls, a long-lived Unix-socket server with --listen, or a \
+          client with --connect")
     Term.(
-      const run $ script_arg $ calls_arg $ serve_threads_arg $ schedule_arg
-      $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg
-      $ concurrency_arg $ inject_arg $ no_bytecode_flag)
+      const run $ serve_script_arg $ calls_arg $ serve_threads_arg
+      $ schedule_arg $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg
+      $ concurrency_arg $ inject_arg $ no_bytecode_flag $ listen_arg
+      $ connect_arg $ status_flag $ max_pending_arg)
 
 (* --- check -------------------------------------------------------------- *)
 

@@ -14,12 +14,17 @@
                          injected failure, ...);
     - [Timeout_fault]  — a per-call deadline fired ({!token});
     - [Pool_fault]     — the worker pool lost a domain mid-region
-                         ({!Pool_error}).
+                         ({!Pool_error});
+    - [Overload_fault] — the long-lived listener shed the request at
+                         admission because its bounded pending queue
+                         was at the [--max-pending] high-water mark
+                         (or the server was draining).
 
-    [Pool_fault] and [Timeout_fault] are {e transient}
-    ({!is_transient}): the pool self-heals at the next region entry
-    and a deadline may have fired under load, so a retry can succeed.
-    The other classes are deterministic and retrying is pointless.
+    [Pool_fault], [Timeout_fault] and [Overload_fault] are
+    {e transient} ({!is_transient}): the pool self-heals at the next
+    region entry, a deadline may have fired under load, and a shed
+    request can be resubmitted once the queue drains.  The other
+    classes are deterministic and retrying is pointless.
 
     The second half of the module is the cooperative cancellation
     substrate behind [oglaf serve --timeout-ms]: a {!token} carries an
@@ -37,11 +42,14 @@ type t =
   | Runtime_fault of { call : string; line : int; reason : string }
   | Timeout_fault of { call : string; line : int; reason : string }
   | Pool_fault of { call : string; line : int; reason : string }
+  | Overload_fault of { pending : int; limit : int }
+      (** [pending] requests queued when admission rejected this one
+          against a high-water mark of [limit] *)
 
 (** Fault class alone, for per-batch counts. *)
-type cls = Parse | Analysis | Runtime | Timeout | Pool
+type cls = Parse | Analysis | Runtime | Timeout | Pool | Overload
 
-let all_classes = [ Parse; Analysis; Runtime; Timeout; Pool ]
+let all_classes = [ Parse; Analysis; Runtime; Timeout; Pool; Overload ]
 
 let cls_of = function
   | Parse_fault _ -> Parse
@@ -49,6 +57,7 @@ let cls_of = function
   | Runtime_fault _ -> Runtime
   | Timeout_fault _ -> Timeout
   | Pool_fault _ -> Pool
+  | Overload_fault _ -> Overload
 
 let cls_name = function
   | Parse -> "parse"
@@ -56,13 +65,17 @@ let cls_name = function
   | Runtime -> "runtime"
   | Timeout -> "timeout"
   | Pool -> "pool"
+  | Overload -> "overload"
 
 (** Transient faults are worth retrying: the pool respawns dead
-    workers at the next region entry, and a timeout may reflect load
-    rather than the kernel itself.  Parse/analysis/runtime faults are
-    deterministic. *)
+    workers at the next region entry, a timeout may reflect load
+    rather than the kernel itself, and a shed request can be
+    resubmitted once the pending queue drains.  Parse/analysis/runtime
+    faults are deterministic. *)
 let is_transient f =
-  match cls_of f with Timeout | Pool -> true | Parse | Analysis | Runtime -> false
+  match cls_of f with
+  | Timeout | Pool | Overload -> true
+  | Parse | Analysis | Runtime -> false
 
 let reason = function
   | Parse_fault { reason; _ }
@@ -71,6 +84,9 @@ let reason = function
   | Timeout_fault { reason; _ }
   | Pool_fault { reason; _ } ->
     reason
+  | Overload_fault { pending; limit } ->
+    Printf.sprintf "server overloaded: %d requests pending (max-pending %d)"
+      pending limit
 
 let to_string f =
   match f with
@@ -83,6 +99,7 @@ let to_string f =
     Printf.sprintf "timeout fault in %s (calls line %d): %s" call line reason
   | Pool_fault { call; line; reason } ->
     Printf.sprintf "pool fault in %s (calls line %d): %s" call line reason
+  | Overload_fault _ -> Printf.sprintf "overload fault: %s" (reason f)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -119,6 +136,11 @@ let to_json f =
         field "call" (str call);
         field "line" (string_of_int line);
         field "reason" (str reason) ]
+    | Overload_fault { pending; limit } ->
+      [ field "class" (str "overload");
+        field "pending" (string_of_int pending);
+        field "limit" (string_of_int limit);
+        field "reason" (str (reason f)) ]
   in
   "{" ^ String.concat "," fields ^ "}"
 

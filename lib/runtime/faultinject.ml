@@ -21,7 +21,14 @@
     Plans come from {!set_plan} (tests), [oglaf serve --inject]
     (manual reproduction) or the [OGLAF_INJECT] environment variable
     (whole-process smoke runs).  With no plan installed every hook is
-    a single atomic load. *)
+    a single atomic load.
+
+    Precedence: [--inject] {e wins} over [OGLAF_INJECT].  The
+    environment plan is installed once at module load (bottom of this
+    file); a later {!set_plan} — which is what the CLI flag calls —
+    replaces the whole installed plan and resets the region counter,
+    so the two never merge.  [test/test_faults.ml] pins this
+    contract. *)
 
 type directive =
   | Fail_region of int
@@ -166,7 +173,9 @@ let crash_worker ~worker =
       in
       claim ())
 
-(* Whole-process smoke runs: OGLAF_INJECT installs a plan at load. *)
+(* Whole-process smoke runs: OGLAF_INJECT installs a plan at load.
+   This runs before any CLI flag is parsed, so an explicit --inject
+   (via set_plan) always replaces it — flag wins over environment. *)
 let () =
   match Sys.getenv_opt "OGLAF_INJECT" with
   | None -> ()

@@ -1,0 +1,672 @@
+(** Long-lived serving over a Unix domain socket.
+
+    [oglaf serve --listen SOCK] turns the batch server into a
+    resident service: clients connect to [SOCK], send one request per
+    line, and receive one JSON response line per request.  The server
+    stays up across client crashes (a dead peer only costs its own
+    connection), malformed requests (answered with a parse fault, the
+    connection keeps serving), worker deaths (pool supervision
+    respawns or degrades, {!Glaf_runtime.Pool.health}) and overload
+    (admission control sheds with a structured
+    {!Glaf_runtime.Fault.Overload_fault} instead of queueing
+    unboundedly).
+
+    {2 Wire protocol}
+
+    Requests (newline-delimited; fields separated by a single tab):
+    {[
+      run <call>                    invoke <call> on the startup script
+      run <call>\t<escaped-script>  invoke on an inline script (compiled
+                                    through the content-hash cache)
+      status                        one-line server status JSON
+    ]}
+    [<call>] uses the calls-file syntax ([name(arg, ...)]); the inline
+    script payload escapes backslash, newline, tab and carriage return
+    as [\\], [\n], [\t], [\r] ({!escape_script}).  Blank lines are
+    ignored; a request line over {!Serve.max_call_line_bytes} is
+    answered with a parse fault and the oversized line is discarded
+    without buffering it.
+
+    Responses are one JSON object per line carrying [seq], the 1-based
+    per-connection request number — executors answer out of order
+    under pipelining, so clients match on [seq]:
+    {[
+      {"seq":1,"ok":true,"call":"pi_mid(100)","value":"3.1416...",
+       "output":"","ms":0.412}
+      {"seq":2,"ok":false,"fault":{"class":"overload","pending":64,...}}
+    ]}
+
+    {2 Lifecycle}
+
+    One reader domain per connection parses and {e admits} requests
+    (never executes them); a fixed team of executor domains pulls
+    admitted jobs from a bounded pending queue and multiplexes their
+    parallel regions onto the shared worker pool.  Admission sheds
+    when the queue is at the [--max-pending] high-water mark.  On
+    SIGTERM ({!request_stop}) the server drains: stops accepting,
+    sheds any not-yet-admitted requests (still answered, with an
+    overload fault), finishes every admitted job, then closes
+    connections, unlinks the socket and returns its final {!stats}. *)
+
+open Glaf_runtime
+
+(** Raised for socket-setup problems (path in use, not a socket);
+    mapped to a one-line diagnostic by the CLI. *)
+exception Listener_error of string
+
+(* --- script payload escaping --------------------------------------------- *)
+
+let escape_script s =
+  let b = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape_script s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents b)
+    else if s.[i] <> '\\' then begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+    else if i + 1 >= n then Error "dangling backslash in script payload"
+    else
+      match s.[i + 1] with
+      | 'n' -> Buffer.add_char b '\n'; go (i + 2)
+      | 't' -> Buffer.add_char b '\t'; go (i + 2)
+      | 'r' -> Buffer.add_char b '\r'; go (i + 2)
+      | '\\' -> Buffer.add_char b '\\'; go (i + 2)
+      | c -> Error (Printf.sprintf "unknown escape '\\%c' in script payload" c)
+  in
+  go 0
+
+(* --- configuration -------------------------------------------------------- *)
+
+type config = {
+  lc_socket : string;
+  lc_max_pending : int;  (** admission high-water mark (queue length) *)
+  lc_executors : int;  (** concurrent call executors *)
+  lc_threads : int option;
+  lc_sched : Sched.t option;
+  lc_deadline_s : float option;  (** per-call deadline *)
+  lc_bytecode : bool;
+  lc_retries : int;  (** transient-fault retries per call *)
+  lc_cache_capacity : int;
+}
+
+let default_config ~socket =
+  {
+    lc_socket = socket;
+    lc_max_pending = 64;
+    lc_executors = 2;
+    lc_threads = None;
+    lc_sched = None;
+    lc_deadline_s = None;
+    lc_bytecode = true;
+    lc_retries = 0;
+    lc_cache_capacity = 64;
+  }
+
+(* --- server state --------------------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_wmu : Mutex.t;  (** serializes response writes (executors race) *)
+  mutable c_seq : int;  (** requests read on this connection *)
+  mutable c_dead : bool;  (** peer gone: drop further writes *)
+}
+
+type wire_job = {
+  wj_conn : conn;
+  wj_seq : int;
+  wj_call : Serve.call;
+  wj_compiled : Serve.compiled;
+}
+
+type t = {
+  cfg : config;
+  sock : Unix.file_descr;
+  cache : Progcache.t;
+  default_compiled : Serve.compiled;
+  draining : bool Atomic.t;
+  (* bounded pending queue *)
+  qmu : Mutex.t;
+  qcv : Condition.t;
+  queue : wire_job Queue.t;
+  mutable q_closed : bool;
+  (* connection registry *)
+  cmu : Mutex.t;
+  mutable conns : (conn * unit Domain.t) list;
+  mutable accepted : int;
+  (* counters *)
+  ok : int Atomic.t;  (** executed, outcome ok *)
+  failed : int Atomic.t;  (** executed, classified fault *)
+  shed : int Atomic.t;  (** rejected at admission with Overload_fault *)
+  rejected : int Atomic.t;  (** malformed / oversized / compile-error *)
+  write_errors : int Atomic.t;  (** responses lost to dead peers *)
+}
+
+type stats = {
+  ls_accepted : int;
+  ls_ok : int;
+  ls_failed : int;
+  ls_shed : int;
+  ls_rejected : int;
+  ls_pending : int;
+  ls_max_pending : int;
+  ls_write_errors : int;
+  ls_cache : Progcache.stats;
+  ls_health : Pool.health;
+  ls_respawns : int;
+  ls_draining : bool;
+}
+
+let stats t =
+  Mutex.lock t.qmu;
+  let pending = Queue.length t.queue in
+  Mutex.unlock t.qmu;
+  Mutex.lock t.cmu;
+  let accepted = t.accepted in
+  Mutex.unlock t.cmu;
+  {
+    ls_accepted = accepted;
+    ls_ok = Atomic.get t.ok;
+    ls_failed = Atomic.get t.failed;
+    ls_shed = Atomic.get t.shed;
+    ls_rejected = Atomic.get t.rejected;
+    ls_pending = pending;
+    ls_max_pending = t.cfg.lc_max_pending;
+    ls_write_errors = Atomic.get t.write_errors;
+    ls_cache = Progcache.stats t.cache;
+    ls_health = Pool.health ();
+    ls_respawns = (Pool.stats ()).Pool.respawns;
+    ls_draining = Atomic.get t.draining;
+  }
+
+let health_string = function
+  | Pool.Healthy -> "healthy"
+  | Pool.Degraded reason -> Printf.sprintf "degraded (%s)" reason
+
+(** One-line drain summary, printed by the CLI on exit; CI greps it
+    for [respawns=] / [degraded]. *)
+let summary_line st =
+  Printf.sprintf
+    "drained: %d ok, %d failed, %d shed, %d rejected over %d connections; \
+     cache %d hits / %d misses (%.1f%% hit rate); health=%s respawns=%d"
+    st.ls_ok st.ls_failed st.ls_shed st.ls_rejected st.ls_accepted
+    st.ls_cache.Progcache.cs_hits st.ls_cache.Progcache.cs_misses
+    (100.0 *. Progcache.hit_rate st.ls_cache)
+    (health_string st.ls_health)
+    st.ls_respawns
+
+(* --- response rendering --------------------------------------------------- *)
+
+let call_text (c : Serve.call) =
+  Format.asprintf "%s%a" c.Serve.cl_name Serve.pp_args c.Serve.cl_args
+
+let fault_response ~seq fault =
+  Printf.sprintf "{\"seq\":%d,\"ok\":false,\"fault\":%s}" seq
+    (Fault.to_json fault)
+
+let outcome_response ~seq (oc : Serve.outcome) =
+  Printf.sprintf
+    "{\"seq\":%d,\"ok\":true,\"call\":\"%s\",\"value\":%s,\"output\":\"%s\",\"ms\":%.3f}"
+    seq
+    (Fault.json_escape (call_text oc.Serve.oc_call))
+    (match oc.Serve.oc_value with
+    | Some v -> "\"" ^ Fault.json_escape (Value.to_string v) ^ "\""
+    | None -> "null")
+    (Fault.json_escape oc.Serve.oc_output)
+    (oc.Serve.oc_time_s *. 1e3)
+
+let status_response ~seq t =
+  let st = stats t in
+  Printf.sprintf
+    "{\"seq\":%d,\"ok\":true,\"status\":{\"health\":\"%s\",\"draining\":%b,\
+     \"pending\":%d,\"max_pending\":%d,\"connections\":%d,\"ok\":%d,\
+     \"failed\":%d,\"shed\":%d,\"rejected\":%d,\"write_errors\":%d,\
+     \"respawns\":%d,\"cache\":{\"size\":%d,\"capacity\":%d,\"hits\":%d,\
+     \"misses\":%d,\"evictions\":%d,\"hit_rate\":%.4f}}}"
+    seq
+    (Fault.json_escape (health_string st.ls_health))
+    st.ls_draining st.ls_pending st.ls_max_pending st.ls_accepted st.ls_ok
+    st.ls_failed st.ls_shed st.ls_rejected st.ls_write_errors st.ls_respawns
+    st.ls_cache.Progcache.cs_size st.ls_cache.Progcache.cs_capacity
+    st.ls_cache.Progcache.cs_hits st.ls_cache.Progcache.cs_misses
+    st.ls_cache.Progcache.cs_evictions
+    (Progcache.hit_rate st.ls_cache)
+
+(* --- socket plumbing ------------------------------------------------------ *)
+
+(* Dead clients must cost their connection, not the process: writes to
+   a closed peer raise EPIPE instead of delivering SIGPIPE. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* Serialized response write; a peer that vanished marks the
+   connection dead so queued jobs for it stop paying write syscalls. *)
+let write_response t conn line =
+  Mutex.lock conn.c_wmu;
+  (if not conn.c_dead then
+     try write_all conn.c_fd (line ^ "\n")
+     with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+       conn.c_dead <- true;
+       Atomic.incr t.write_errors);
+  Mutex.unlock conn.c_wmu
+
+(* --- request handling (reader side) --------------------------------------- *)
+
+type request =
+  | Rq_run of string * string option  (* call text, optional inline script *)
+  | Rq_status
+  | Rq_bad of string
+
+let parse_request line =
+  match String.index_opt line '\t' with
+  | None ->
+    let s = String.trim line in
+    if s = "status" then Rq_status
+    else if String.length s > 4 && String.sub s 0 4 = "run " then
+      Rq_run (String.trim (String.sub s 4 (String.length s - 4)), None)
+    else Rq_bad "expected 'run <call>[\\t<escaped-script>]' or 'status'"
+  | Some tab ->
+    let head = String.trim (String.sub line 0 tab) in
+    let payload = String.sub line (tab + 1) (String.length line - tab - 1) in
+    if String.length head > 4 && String.sub head 0 4 = "run " then
+      match unescape_script payload with
+      | Ok script ->
+        Rq_run (String.trim (String.sub head 4 (String.length head - 4)),
+                Some script)
+      | Error e -> Rq_bad e
+    else Rq_bad "expected 'run <call>[\\t<escaped-script>]' or 'status'"
+
+(* Admission: the only place requests enter the pending queue.  Sheds
+   (with the queue length observed under the lock) when the queue is
+   at the high-water mark or the server is draining — the reader never
+   blocks, so backpressure is immediate and the queue is bounded by
+   construction. *)
+let admit t conn ~seq call compiled =
+  Mutex.lock t.qmu;
+  let pending = Queue.length t.queue in
+  if t.q_closed || Atomic.get t.draining || pending >= t.cfg.lc_max_pending
+  then begin
+    Mutex.unlock t.qmu;
+    Atomic.incr t.shed;
+    write_response t conn
+      (fault_response ~seq
+         (Fault.Overload_fault
+            { pending; limit = t.cfg.lc_max_pending }))
+  end
+  else begin
+    Queue.push
+      { wj_conn = conn; wj_seq = seq; wj_call = call; wj_compiled = compiled }
+      t.queue;
+    Condition.signal t.qcv;
+    Mutex.unlock t.qmu
+  end
+
+let handle_line t conn line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.trim line = "" then ()
+  else begin
+    conn.c_seq <- conn.c_seq + 1;
+    let seq = conn.c_seq in
+    match parse_request line with
+    | Rq_status -> write_response t conn (status_response ~seq t)
+    | Rq_bad reason ->
+      Atomic.incr t.rejected;
+      write_response t conn
+        (fault_response ~seq (Fault.Parse_fault { line = seq; reason }))
+    | Rq_run (call_text, script_opt) -> (
+      let compiled_r =
+        match script_opt with
+        | None -> Ok t.default_compiled
+        | Some script -> fst (Progcache.find_or_compile t.cache script)
+      in
+      match compiled_r with
+      | Error fault ->
+        Atomic.incr t.rejected;
+        write_response t conn (fault_response ~seq fault)
+      | Ok compiled -> (
+        match Serve.parse_call seq call_text with
+        | call -> admit t conn ~seq call compiled
+        | exception Serve.Calls_error (_, reason) ->
+          Atomic.incr t.rejected;
+          write_response t conn
+            (fault_response ~seq (Fault.Parse_fault { line = seq; reason }))))
+  end
+
+(* Per-connection reader: select-polls so it can notice the drain
+   flag, splits complete lines out of a growing buffer, and enforces
+   the shared request-size cap by answering once and then discarding
+   bytes until the next newline (resync without buffering the flood). *)
+let reader t conn =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let discarding = ref false in
+  let oversize () =
+    conn.c_seq <- conn.c_seq + 1;
+    Atomic.incr t.rejected;
+    write_response t conn
+      (fault_response ~seq:conn.c_seq
+         (Fault.Parse_fault
+            {
+              line = conn.c_seq;
+              reason =
+                Printf.sprintf "request line exceeds %d bytes"
+                  Serve.max_call_line_bytes;
+            }));
+    Buffer.clear buf;
+    discarding := true
+  in
+  let consume_lines data =
+    (* [data] is the newly read chunk; only scan the whole buffer when
+       the chunk actually completed a line *)
+    Buffer.add_string buf data;
+    if String.contains data '\n' then begin
+      let text = Buffer.contents buf in
+      Buffer.clear buf;
+      let n = String.length text in
+      let rec go start =
+        if start >= n then ()
+        else
+          match String.index_from_opt text start '\n' with
+          | None -> Buffer.add_substring buf text start (n - start)
+          | Some nl ->
+            handle_line t conn (String.sub text start (nl - start));
+            go (nl + 1)
+      in
+      go 0
+    end;
+    if Buffer.length buf > Serve.max_call_line_bytes then oversize ()
+  in
+  let rec loop () =
+    if Atomic.get t.draining then ()
+    else
+      match Unix.select [ conn.c_fd ] [] [] 0.1 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()  (* EOF: client closed its sending side *)
+        | n ->
+          let data = Bytes.sub_string chunk 0 n in
+          let data =
+            if not !discarding then data
+            else
+              match String.index_opt data '\n' with
+              | None -> ""  (* still inside the oversized line: drop *)
+              | Some i ->
+                discarding := false;
+                String.sub data (i + 1) (String.length data - i - 1)
+          in
+          if data <> "" then consume_lines data;
+          loop ()
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ()
+        | exception Unix.Unix_error (EINTR, _, _) -> loop ())
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+  in
+  (* Drain semantics: requests already admitted will still be answered
+     by the executors; anything left unread in the kernel buffer is
+     abandoned with the connection. *)
+  try loop ()
+  with e ->
+    (* a reader must never take the server down *)
+    Atomic.incr t.rejected;
+    Printf.eprintf "oglaf: reader error: %s\n%!" (Printexc.to_string e)
+
+(* --- executors ------------------------------------------------------------ *)
+
+let executor t =
+  let rec loop () =
+    Mutex.lock t.qmu;
+    let rec take () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.q_closed then None
+      else begin
+        Condition.wait t.qcv t.qmu;
+        take ()
+      end
+    in
+    match take () with
+    | None -> Mutex.unlock t.qmu
+    | Some job ->
+      Mutex.unlock t.qmu;
+      let r =
+        Serve.run_call ?threads:t.cfg.lc_threads ?sched:t.cfg.lc_sched
+          ?deadline_s:t.cfg.lc_deadline_s ~bytecode:t.cfg.lc_bytecode
+          ~retries:t.cfg.lc_retries job.wj_compiled job.wj_call
+      in
+      let line =
+        match r with
+        | Ok oc ->
+          Atomic.incr t.ok;
+          outcome_response ~seq:job.wj_seq oc
+        | Error fault ->
+          Atomic.incr t.failed;
+          fault_response ~seq:job.wj_seq fault
+      in
+      write_response t job.wj_conn line;
+      loop ()
+  in
+  try loop ()
+  with e ->
+    Printf.eprintf "oglaf: executor error: %s\n%!" (Printexc.to_string e)
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+(* A stale socket file from a crashed server is removed; a {e live}
+   one (something accepts our probe connection) is a configuration
+   error, not ours to steal. *)
+let prepare_socket_path path =
+  if Sys.file_exists path then begin
+    (match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_SOCK -> ()
+    | _ ->
+      raise
+        (Listener_error
+           (Printf.sprintf "%s exists and is not a socket" path)));
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      raise
+        (Listener_error
+           (Printf.sprintf "a server is already listening on %s" path));
+    Unix.unlink path
+  end
+
+(** Compile the startup script (through the cache, so a client sending
+    the same text inline hits) and bind the socket — clients can
+    connect as soon as this returns.  Serving starts at {!serve}. *)
+let create ~config:cfg script_text =
+  if cfg.lc_max_pending < 1 then
+    raise (Listener_error "--max-pending must be >= 1");
+  if cfg.lc_executors < 1 then
+    raise (Listener_error "need at least one executor");
+  ignore_sigpipe ();
+  let cache = Progcache.create ~capacity:cfg.lc_cache_capacity () in
+  match fst (Progcache.find_or_compile cache script_text) with
+  | Error fault -> Error fault
+  | Ok compiled ->
+    prepare_socket_path cfg.lc_socket;
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind sock (Unix.ADDR_UNIX cfg.lc_socket);
+       Unix.listen sock 64
+     with e ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       raise e);
+    Ok
+      {
+        cfg;
+        sock;
+        cache;
+        default_compiled = compiled;
+        draining = Atomic.make false;
+        qmu = Mutex.create ();
+        qcv = Condition.create ();
+        queue = Queue.create ();
+        q_closed = false;
+        cmu = Mutex.create ();
+        conns = [];
+        accepted = 0;
+        ok = Atomic.make 0;
+        failed = Atomic.make 0;
+        shed = Atomic.make 0;
+        rejected = Atomic.make 0;
+        write_errors = Atomic.make 0;
+      }
+
+(** Ask the server to drain and exit; safe from a signal handler. *)
+let request_stop t = Atomic.set t.draining true
+
+(** Accept connections and serve until {!request_stop}; returns the
+    final {!stats} after a full drain (admitted jobs answered,
+    connections closed, socket unlinked). *)
+let serve t =
+  let executors =
+    Array.init t.cfg.lc_executors (fun _ -> Domain.spawn (fun () -> executor t))
+  in
+  let rec accept_loop () =
+    if Atomic.get t.draining then ()
+    else
+      match Unix.select [ t.sock ] [] [] 0.1 with
+      | [], _, _ -> accept_loop ()
+      | _ -> (
+        match Unix.accept t.sock with
+        | fd, _ ->
+          let conn =
+            { c_fd = fd; c_wmu = Mutex.create (); c_seq = 0; c_dead = false }
+          in
+          let dom = Domain.spawn (fun () -> reader t conn) in
+          Mutex.lock t.cmu;
+          t.conns <- (conn, dom) :: t.conns;
+          t.accepted <- t.accepted + 1;
+          Mutex.unlock t.cmu;
+          accept_loop ()
+        | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) ->
+          accept_loop ())
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ();
+  (* drain: no new connections ... *)
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.lc_socket with Unix.Unix_error _ | Sys_error _ -> ());
+  (* ... no new requests (readers exit on the drain flag) ... *)
+  let conns =
+    Mutex.lock t.cmu;
+    let c = t.conns in
+    Mutex.unlock t.cmu;
+    c
+  in
+  List.iter (fun (_, dom) -> Domain.join dom) conns;
+  (* ... then let the executors finish every admitted job. *)
+  Mutex.lock t.qmu;
+  t.q_closed <- true;
+  Condition.broadcast t.qcv;
+  Mutex.unlock t.qmu;
+  Array.iter Domain.join executors;
+  List.iter
+    (fun (conn, _) ->
+      Mutex.lock conn.c_wmu;
+      conn.c_dead <- true;
+      (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+      Mutex.unlock conn.c_wmu)
+    conns;
+  stats t
+
+(* --- client --------------------------------------------------------------- *)
+
+(** Minimal blocking client for the wire protocol, shared by
+    [oglaf serve --connect], the soak benchmark and the tests. *)
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    buf : Buffer.t;
+    chunk : Bytes.t;
+  }
+
+  let connect path =
+    ignore_sigpipe ();
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; buf = Buffer.create 4096; chunk = Bytes.create 8192 }
+
+  let send_line c line = write_all c.fd (line ^ "\n")
+
+  (* Pop one buffered line if a full one is present. *)
+  let take_line c =
+    let text = Buffer.contents c.buf in
+    match String.index_opt text '\n' with
+    | None -> None
+    | Some nl ->
+      Buffer.clear c.buf;
+      Buffer.add_substring c.buf text (nl + 1) (String.length text - nl - 1);
+      let line = String.sub text 0 nl in
+      let n = String.length line in
+      Some (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+            else line)
+
+  (** Next response line, or [None] on EOF / timeout. *)
+  let recv_line ?(timeout_s = 30.0) c =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      match take_line c with
+      | Some _ as r -> r
+      | None ->
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0.0 then None
+        else
+          (match Unix.select [ c.fd ] [] [] (Float.min 0.1 left) with
+          | [], _, _ -> go ()
+          | _ -> (
+            match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+            | 0 -> take_line c  (* EOF: only what's already buffered *)
+            | n ->
+              Buffer.add_subbytes c.buf c.chunk 0 n;
+              go ()
+            | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> None
+            | exception Unix.Unix_error (EINTR, _, _) -> go ())
+          | exception Unix.Unix_error (EINTR, _, _) -> go ())
+    in
+    go ()
+
+  (** Lock-step request/response. *)
+  let request ?timeout_s c line =
+    send_line c line;
+    recv_line ?timeout_s c
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+end

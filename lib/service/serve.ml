@@ -59,6 +59,12 @@ let parse_arg ln pos s =
       | Some x -> Ast.Real_lit (x, true)
       | None -> calls_error ln "argument %S is not an integer or real literal" s)
 
+(** Hard per-line cap shared by the calls-file parser and the socket
+    wire protocol ({!Listener}): a pathological multi-megabyte request
+    line is rejected with a classified parse fault up front instead of
+    being trimmed, split and repeatedly copied. *)
+let max_call_line_bytes = 1_048_576
+
 let parse_call ln line =
   match String.index_opt line '(' with
   | None ->
@@ -88,14 +94,19 @@ let parse_call ln line =
     in
     { cl_line = ln; cl_name = name; cl_args = args }
 
-(** Parse a calls file ([#] comments and blank lines skipped).
-    @raise Calls_error on malformed lines. *)
+(** Parse a calls file ([#] comments and blank lines skipped).  CRLF
+    line endings and blank trailing lines are accepted (each line is
+    trimmed before dispatch); a single line over
+    {!max_call_line_bytes} is an error, not an allocation storm.
+    @raise Calls_error on malformed or oversized lines. *)
 let parse_calls text =
   let lines = String.split_on_char '\n' text in
   List.concat
     (List.mapi
        (fun i line ->
          let ln = i + 1 in
+         if String.length line > max_call_line_bytes then
+           calls_error ln "line exceeds %d bytes" max_call_line_bytes;
          let s = String.trim line in
          if s = "" || s.[0] = '#' then [] else [ parse_call ln s ])
        lines)
@@ -323,6 +334,15 @@ type slot_result =
   | Done of (call * (outcome, Fault.t) result)
   | Skip  (** never attempted: batch aborted first *)
 
+(* Idle-wakeup gauge: how many times an executor slot went to sleep
+   with only backoff timers outstanding.  The sleep targets the
+   earliest not-before time exactly, so this stays O(retries) per
+   batch rather than O(backoff / poll-interval) —
+   test_serve_concurrent pins the bound. *)
+let c_idle_wakeups = Atomic.make 0
+let idle_wakeups () = Atomic.get c_idle_wakeups
+let reset_idle_wakeups () = Atomic.set c_idle_wakeups 0
+
 (* Serve the batch on [concurrency] executor domains pulling jobs from
    a shared queue.  Each in-flight call owns a fresh interpreter state
    and its own cancellation token (the ambient token is per-domain),
@@ -414,13 +434,21 @@ let run_calls_concurrent ~concurrency ?threads ?sched ?deadline_s ?bytecode
       slot_loop ()
     end
     else if !delayed <> [] then begin
-      (* only backoffs outstanding: poll-sleep until the earliest one
-         is due (the stdlib has no timed condition wait) *)
+      (* Only backoffs outstanding: sleep until the earliest one is
+         due (the stdlib has no timed condition wait).  Sleeping the
+         full interval — not a capped poll-sleep — keeps a slot from
+         busy-spinning through a long backoff.  Progress never hangs
+         on this timer: any slot that requeues a job with an earlier
+         not-before re-enters this loop itself and either runs ready
+         work or sleeps until the new minimum, so every delayed job
+         is covered by a slot that is awake, working, or due to wake
+         no later than needed. *)
       let due_at =
         List.fold_left (fun a j -> Float.min a j.j_not_before) infinity !delayed
       in
+      Atomic.incr c_idle_wakeups;
       Mutex.unlock mu;
-      Unix.sleepf (Float.min 0.05 (Float.max 0.001 (due_at -. now ())));
+      Unix.sleepf (Float.max 0.0005 (due_at -. now ()));
       slot_loop ()
     end
     else if !active > 0 then begin

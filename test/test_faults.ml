@@ -70,13 +70,46 @@ let test_fault_transience () =
   let rtf = Fault.Runtime_fault { call = "f"; line = 1; reason = "r" } in
   let tmo = Fault.Timeout_fault { call = "f"; line = 1; reason = "r" } in
   let pool = Fault.Pool_fault { call = "f"; line = 1; reason = "r" } in
+  let ovl = Fault.Overload_fault { pending = 8; limit = 8 } in
   check_bool "timeout transient" true (Fault.is_transient tmo);
   check_bool "pool transient" true (Fault.is_transient pool);
+  check_bool "overload transient" true (Fault.is_transient ovl);
   check_bool "runtime deterministic" false (Fault.is_transient rtf);
   check_bool "parse deterministic" false
     (Fault.is_transient (Fault.Parse_fault { line = 1; reason = "r" }));
-  check_int "five classes" 5 (List.length Fault.all_classes);
-  check_string "class name" "timeout" (Fault.cls_name (Fault.cls_of tmo))
+  check_int "six classes" 6 (List.length Fault.all_classes);
+  check_string "class name" "timeout" (Fault.cls_name (Fault.cls_of tmo));
+  check_string "overload class name" "overload"
+    (Fault.cls_name (Fault.cls_of ovl));
+  check_string "overload to_string"
+    "overload fault: server overloaded: 8 requests pending (max-pending 8)"
+    (Fault.to_string ovl)
+
+(* JSON-schema stability: the socket protocol and CI scrapers key on
+   these exact field names and class strings.  A rename must be a
+   deliberate protocol change, not a refactor side effect. *)
+let test_fault_json_schema_stability () =
+  check_string "class name list pinned"
+    "parse,analysis,runtime,timeout,pool,overload"
+    (String.concat "," (List.map Fault.cls_name Fault.all_classes));
+  check_string "parse schema"
+    {|{"class":"parse","line":7,"reason":"r"}|}
+    (Fault.to_json (Fault.Parse_fault { line = 7; reason = "r" }));
+  check_string "analysis schema"
+    {|{"class":"analysis","reason":"r"}|}
+    (Fault.to_json (Fault.Analysis_fault { reason = "r" }));
+  check_string "runtime schema"
+    {|{"class":"runtime","call":"f","line":3,"reason":"r"}|}
+    (Fault.to_json (Fault.Runtime_fault { call = "f"; line = 3; reason = "r" }));
+  check_string "timeout schema"
+    {|{"class":"timeout","call":"f","line":3,"reason":"r"}|}
+    (Fault.to_json (Fault.Timeout_fault { call = "f"; line = 3; reason = "r" }));
+  check_string "pool schema"
+    {|{"class":"pool","call":"f","line":3,"reason":"r"}|}
+    (Fault.to_json (Fault.Pool_fault { call = "f"; line = 3; reason = "r" }));
+  check_string "overload schema"
+    {|{"class":"overload","pending":9,"limit":4,"reason":"server overloaded: 9 requests pending (max-pending 4)"}|}
+    (Fault.to_json (Fault.Overload_fault { pending = 9; limit = 4 }))
 
 (* --- injection plan grammar ---------------------------------------------- *)
 
@@ -348,12 +381,91 @@ let test_calls_parser_rejects_malformed () =
     check_int "line numbers kept" 4 c2.Serve.cl_line
   | _ -> Alcotest.fail "valid calls file misparsed"
 
+(* Files written on Windows or piped through tools that add CRLF /
+   trailing blank lines must parse identically; a single multi-MB line
+   must be rejected up front with the line number, not ground through
+   trim/split. *)
+let test_calls_parser_crlf_blank_oversize () =
+  (match Serve.parse_calls "pi_mid(10)\r\nsaxpy(1, 2.5)\r\n\r\n\n" with
+  | [ c1; c2 ] ->
+    check_string "crlf name 1" "pi_mid" c1.Serve.cl_name;
+    check_string "crlf name 2" "saxpy" c2.Serve.cl_name;
+    check_int "crlf line 2" 2 c2.Serve.cl_line;
+    check_int "crlf args survive trim" 2 (List.length c2.Serve.cl_args)
+  | _ -> Alcotest.fail "CRLF calls file misparsed");
+  (* comment lines with CRLF endings are still comments *)
+  (match Serve.parse_calls "# c\r\npi_mid(1)\r" with
+  | [ c ] -> check_int "crlf comment skipped" 2 c.Serve.cl_line
+  | _ -> Alcotest.fail "CRLF comment misparsed");
+  let big = String.make (Serve.max_call_line_bytes + 1) 'a' in
+  (match Serve.parse_calls big with
+  | exception Serve.Calls_error (1, msg) ->
+    check_bool "oversize names the cap" true
+      (msg = Printf.sprintf "line exceeds %d bytes" Serve.max_call_line_bytes)
+  | exception Serve.Calls_error (ln, _) ->
+    Alcotest.failf "oversize reported on line %d, expected 1" ln
+  | _ -> Alcotest.fail "oversized line accepted");
+  (* the cap is per line: a valid file with a later oversized line
+     reports that line's number *)
+  match Serve.parse_calls ("pi_mid(1)\n" ^ big) with
+  | exception Serve.Calls_error (2, _) -> ()
+  | exception Serve.Calls_error (ln, _) ->
+    Alcotest.failf "oversize reported on line %d, expected 2" ln
+  | _ -> Alcotest.fail "oversized second line accepted"
+
+(* --- --inject vs OGLAF_INJECT precedence ---------------------------------- *)
+
+(* The contract (documented in faultinject.ml and the README): the
+   explicit --inject flag replaces any plan OGLAF_INJECT installed at
+   load.  Driven through the real CLI because the precedence lives in
+   process startup order, not in library code. *)
+let test_inject_precedence_flag_wins () =
+  let exe = "../bin/oglaf.exe" in
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Printf.sprintf "CLI binary %s is missing" exe);
+  let run_capture cmd =
+    let out = Filename.temp_file "oglaf_inj" ".out" in
+    let rc =
+      Sys.command (Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out))
+    in
+    let ic = open_in out in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove out;
+    (rc, content)
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let serve = "serve ../examples/scripts/quad_sweep.gpi \
+               --calls ../examples/scripts/quad_sweep.calls --threads 2" in
+  (* env alone: the plan fails the first region -> first call faults *)
+  let rc, out =
+    run_capture (Printf.sprintf "OGLAF_INJECT=fail-region:1 %s %s" exe serve)
+  in
+  check_bool "env plan installs (exit 1)" true (rc = 1);
+  check_bool "env plan fired" true (contains out "fail-region:1");
+  (* env + flag: the flag's region-2 plan replaces the env's region-1
+     plan entirely — call 1 succeeds, call 2 faults *)
+  let rc, out =
+    run_capture
+      (Printf.sprintf "OGLAF_INJECT=fail-region:1 %s %s --inject fail-region:2"
+         exe serve)
+  in
+  check_bool "flag plan exit 1" true (rc = 1);
+  check_bool "flag plan fired" true (contains out "fail-region:2");
+  check_bool "env plan fully replaced" false (contains out "fail-region:1")
+
 let suites =
   [
     ( "faults.taxonomy",
       [
         Alcotest.test_case "to_string" `Quick test_fault_strings;
         Alcotest.test_case "to_json" `Quick test_fault_json;
+        Alcotest.test_case "json schema stability" `Quick
+          test_fault_json_schema_stability;
         Alcotest.test_case "transience" `Quick test_fault_transience;
       ] );
     ( "faults.inject",
@@ -362,6 +474,8 @@ let suites =
         Alcotest.test_case "plan errors" `Quick test_parse_plan_errors;
         Alcotest.test_case "injected region failure" `Quick
           test_injected_region_failure;
+        Alcotest.test_case "--inject wins over OGLAF_INJECT" `Quick
+          test_inject_precedence_flag_wins;
       ] );
     ( "faults.deadline",
       [
@@ -379,6 +493,8 @@ let suites =
         Alcotest.test_case "max-errors abort" `Quick test_max_errors_aborts;
         Alcotest.test_case "calls parser hardening" `Quick
           test_calls_parser_rejects_malformed;
+        Alcotest.test_case "calls parser crlf/blank/oversize" `Quick
+          test_calls_parser_crlf_blank_oversize;
       ] );
     ( "faults.supervision",
       [

@@ -13,6 +13,7 @@ let () =
          Test_faults.suites;
          Test_bytecode_diff.suites;
          Test_serve_concurrent.suites;
+         Test_listener.suites;
          Test_perf_integration.suites;
          Test_lift.suites;
          Test_cli.suites;

@@ -146,6 +146,30 @@ let test_kill_worker_retry_parity () =
     (outcome_bits clean = outcome_bits conc);
   check_bool "pool healed" true (Pool.health () = Pool.Healthy)
 
+(* Backoff requeue must not busy-spin idle executor slots: while a
+   retrying call waits out its not-before time, each idle slot sleeps
+   until the earliest deadline in one go.  The old capped poll-sleep
+   woke every 50ms, so a 0.4s backoff with 2 slots burned ~16 wakeups;
+   the deadline sleep needs O(retries) wakeups total.  The gauge
+   counts every idle sleep, so the bound is deliberately loose — the
+   regression it guards against is an order of magnitude away. *)
+let test_backoff_requeue_does_not_spin () =
+  Fun.protect ~finally:restore (fun () ->
+      (match Faultinject.parse_plan "kill-worker:1" with
+      | Ok p -> Faultinject.set_plan p
+      | Error msg -> Alcotest.fail msg);
+      Serve.reset_idle_wakeups ();
+      let b =
+        Serve.run_calls ~concurrency:2 ~threads:4 ~retries:2 ~backoff_s:0.4
+          (Lazy.force compiled)
+          (Serve.parse_calls "pi_mid(1000)\npi_mid(2500)")
+      in
+      check_int "batch recovered" 2 b.Serve.b_ok;
+      let wakeups = Serve.idle_wakeups () in
+      check_bool
+        (Printf.sprintf "idle wakeups bounded (got %d, want <= 8)" wakeups)
+        true (wakeups <= 8))
+
 (* max_errors under overlap: the batch aborts once the failure budget
    is spent; never-attempted calls are skipped, accounting stays
    consistent. *)
@@ -174,6 +198,8 @@ let suites =
         Alcotest.test_case "fail-region parity" `Quick test_fail_region_parity;
         Alcotest.test_case "kill-worker + retry parity" `Quick
           test_kill_worker_retry_parity;
+        Alcotest.test_case "backoff requeue does not spin" `Quick
+          test_backoff_requeue_does_not_spin;
         Alcotest.test_case "max-errors abort" `Quick
           test_max_errors_aborts_concurrent_batch;
       ] );
