@@ -308,11 +308,21 @@ let max_pending_arg =
            while N are already queued are shed with a structured overload \
            fault instead of queueing unboundedly.")
 
+let max_conns_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Concurrent-connection cap for $(b,--listen): connections accepted \
+           while N are already live are answered with one overload fault \
+           line (seq 0) and closed, so per-connection reader domains can \
+           never exhaust the runtime's domain limit.")
+
 (* Server mode: compile once, answer requests on the socket until
    SIGTERM/SIGINT, then drain (finish every admitted call) and print a
    one-line summary.  Exit 0 on a clean drain. *)
 let serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
-    ~concurrency ~max_pending ~no_bytecode ~stats =
+    ~concurrency ~max_pending ~max_conns ~no_bytecode ~stats =
   let module L = Glaf_service.Listener in
   let script_path =
     match script with
@@ -323,6 +333,7 @@ let serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
     {
       (L.default_config ~socket) with
       L.lc_max_pending = max_pending;
+      lc_max_conns = max_conns;
       lc_executors = concurrency;
       lc_threads = threads;
       lc_sched = sched;
@@ -391,7 +402,8 @@ let serve_connect ~socket ~calls_file ~status_q =
 
 let serve_cmd =
   let run script calls_file threads sched_s stats timeout_ms retries max_errors
-      concurrency inject no_bytecode listen connect status_q max_pending =
+      concurrency inject no_bytecode listen connect status_q max_pending
+      max_conns =
     protect @@ fun () ->
     let sched =
       match sched_s with
@@ -407,6 +419,7 @@ let serve_cmd =
     in
     if concurrency < 1 then usage_die "--concurrency must be >= 1";
     if max_pending < 1 then usage_die "--max-pending must be >= 1";
+    if max_conns < 1 then usage_die "--max-conns must be >= 1";
     (match inject with
     | None -> ()
     | Some plan -> (
@@ -434,7 +447,7 @@ let serve_cmd =
                    requests from the socket"
       | None -> ());
       serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
-        ~concurrency ~max_pending ~no_bytecode ~stats
+        ~concurrency ~max_pending ~max_conns ~no_bytecode ~stats
     | None, Some socket ->
       (match script with
       | Some _ -> usage_die "SCRIPT is not used with --connect (the server owns it)"
@@ -481,7 +494,7 @@ let serve_cmd =
       const run $ serve_script_arg $ calls_arg $ serve_threads_arg
       $ schedule_arg $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg
       $ concurrency_arg $ inject_arg $ no_bytecode_flag $ listen_arg
-      $ connect_arg $ status_flag $ max_pending_arg)
+      $ connect_arg $ status_flag $ max_pending_arg $ max_conns_arg)
 
 (* --- check -------------------------------------------------------------- *)
 

@@ -25,7 +25,8 @@
     as [\\], [\n], [\t], [\r] ({!escape_script}).  Blank lines are
     ignored; a request line over {!Serve.max_call_line_bytes} is
     answered with a parse fault and the oversized line is discarded
-    without buffering it.
+    without buffering it — the cap holds per line whether the line
+    arrives byte-by-byte or completed inside one read chunk.
 
     Responses are one JSON object per line carrying [seq], the 1-based
     per-connection request number — executors answer out of order
@@ -39,10 +40,19 @@
     {2 Lifecycle}
 
     One reader domain per connection parses and {e admits} requests
-    (never executes them); a fixed team of executor domains pulls
-    admitted jobs from a bounded pending queue and multiplexes their
-    parallel regions onto the shared worker pool.  Admission sheds
-    when the queue is at the [--max-pending] high-water mark.  On
+    (never compiles or executes them); a fixed team of executor
+    domains pulls admitted jobs from a bounded pending queue, resolves
+    inline scripts through the compile cache, and multiplexes their
+    parallel regions onto the shared worker pool — so both execution
+    {e and} compile work are bounded by admission.  Admission sheds
+    when the queue is at the [--max-pending] high-water mark, and the
+    accept loop sheds whole {e connections} past the
+    [lc_max_conns] cap (one overload fault at [seq] 0, then close) so
+    the per-connection reader domains can never exhaust the runtime's
+    domain limit.  A connection's fd is closed as soon as its reader
+    has exited (peer EOF, reset, or drain) and every admitted job on
+    it has been answered; the accept loop reaps finished readers, so
+    short-lived clients cost nothing after they disconnect.  On
     SIGTERM ({!request_stop}) the server drains: stops accepting,
     sheds any not-yet-admitted requests (still answered, with an
     overload fault), finishes every admitted job, then closes
@@ -94,6 +104,9 @@ let unescape_script s =
 type config = {
   lc_socket : string;
   lc_max_pending : int;  (** admission high-water mark (queue length) *)
+  lc_max_conns : int;
+      (** concurrent-connection cap: one reader domain per live
+          connection, so this also bounds domain usage *)
   lc_executors : int;  (** concurrent call executors *)
   lc_threads : int option;
   lc_sched : Sched.t option;
@@ -107,6 +120,7 @@ let default_config ~socket =
   {
     lc_socket = socket;
     lc_max_pending = 64;
+    lc_max_conns = 32;
     lc_executors = 2;
     lc_threads = None;
     lc_sched = None;
@@ -123,13 +137,20 @@ type conn = {
   c_wmu : Mutex.t;  (** serializes response writes (executors race) *)
   mutable c_seq : int;  (** requests read on this connection *)
   mutable c_dead : bool;  (** peer gone: drop further writes *)
+  mutable c_closed : bool;  (** fd closed (under [c_wmu]); never close twice *)
+  c_inflight : int Atomic.t;  (** admitted jobs not yet answered *)
+  c_eof : bool Atomic.t;  (** reader exited: close once inflight drains *)
+  c_done : bool Atomic.t;  (** reader domain finished; joinable without blocking *)
 }
 
 type wire_job = {
   wj_conn : conn;
   wj_seq : int;
   wj_call : Serve.call;
-  wj_compiled : Serve.compiled;
+  wj_script : string option;
+      (** inline script, compiled by the executor {e after} admission
+          (through the cache) so [--max-pending] bounds compile work
+          too; [None] runs the startup script *)
 }
 
 type t = {
@@ -268,12 +289,31 @@ let write_all fd s =
    connection dead so queued jobs for it stop paying write syscalls. *)
 let write_response t conn line =
   Mutex.lock conn.c_wmu;
-  (if not conn.c_dead then
+  (if not (conn.c_dead || conn.c_closed) then
      try write_all conn.c_fd (line ^ "\n")
      with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
        conn.c_dead <- true;
        Atomic.incr t.write_errors);
   Mutex.unlock conn.c_wmu
+
+(* Idempotent close: [c_closed] is flipped under the write mutex so a
+   racing response can never write to a recycled fd number. *)
+let close_conn conn =
+  Mutex.lock conn.c_wmu;
+  if not conn.c_closed then begin
+    conn.c_closed <- true;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock conn.c_wmu
+
+(* Close as soon as the reader is gone AND nothing admitted still owes
+   a response.  Called by the reader on exit and by executors after
+   each answer: whichever side satisfies the condition last closes
+   (both may — [close_conn] is idempotent), so a short-lived client's
+   fd is reclaimed immediately instead of leaking until drain. *)
+let release_conn conn =
+  if Atomic.get conn.c_eof && Atomic.get conn.c_inflight = 0 then
+    close_conn conn
 
 (* --- request handling (reader side) --------------------------------------- *)
 
@@ -306,7 +346,7 @@ let parse_request line =
    at the high-water mark or the server is draining — the reader never
    blocks, so backpressure is immediate and the queue is bounded by
    construction. *)
-let admit t conn ~seq call compiled =
+let admit t conn ~seq call script =
   Mutex.lock t.qmu;
   let pending = Queue.length t.queue in
   if t.q_closed || Atomic.get t.draining || pending >= t.cfg.lc_max_pending
@@ -319,8 +359,11 @@ let admit t conn ~seq call compiled =
             { pending; limit = t.cfg.lc_max_pending }))
   end
   else begin
+    (* inflight is raised before the job is visible to executors so
+       their decrement can never undershoot *)
+    Atomic.incr conn.c_inflight;
     Queue.push
-      { wj_conn = conn; wj_seq = seq; wj_call = call; wj_compiled = compiled }
+      { wj_conn = conn; wj_seq = seq; wj_call = call; wj_script = script }
       t.queue;
     Condition.signal t.qcv;
     Mutex.unlock t.qmu
@@ -342,33 +385,30 @@ let handle_line t conn line =
       write_response t conn
         (fault_response ~seq (Fault.Parse_fault { line = seq; reason }))
     | Rq_run (call_text, script_opt) -> (
-      let compiled_r =
-        match script_opt with
-        | None -> Ok t.default_compiled
-        | Some script -> fst (Progcache.find_or_compile t.cache script)
-      in
-      match compiled_r with
-      | Error fault ->
+      (* the reader only parses the call header (cheap); the inline
+         script — a full compile pipeline on a cache miss — is passed
+         through admission untouched and compiled by an executor *)
+      match Serve.parse_call seq call_text with
+      | call -> admit t conn ~seq call script_opt
+      | exception Serve.Calls_error (_, reason) ->
         Atomic.incr t.rejected;
-        write_response t conn (fault_response ~seq fault)
-      | Ok compiled -> (
-        match Serve.parse_call seq call_text with
-        | call -> admit t conn ~seq call compiled
-        | exception Serve.Calls_error (_, reason) ->
-          Atomic.incr t.rejected;
-          write_response t conn
-            (fault_response ~seq (Fault.Parse_fault { line = seq; reason }))))
+        write_response t conn
+          (fault_response ~seq (Fault.Parse_fault { line = seq; reason })))
   end
 
 (* Per-connection reader: select-polls so it can notice the drain
    flag, splits complete lines out of a growing buffer, and enforces
-   the shared request-size cap by answering once and then discarding
-   bytes until the next newline (resync without buffering the flood). *)
+   the request-size cap per line — both on a partial line that
+   outgrows the buffer (answer once, then discard bytes until the next
+   newline: resync without buffering the flood) and on a complete line
+   whose terminating newline arrived in the same read chunk that blew
+   the cap (answer and skip it; no discard mode needed, the line is
+   already delimited). *)
 let reader t conn =
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 8192 in
   let discarding = ref false in
-  let oversize () =
+  let oversize_response () =
     conn.c_seq <- conn.c_seq + 1;
     Atomic.incr t.rejected;
     write_response t conn
@@ -379,7 +419,10 @@ let reader t conn =
               reason =
                 Printf.sprintf "request line exceeds %d bytes"
                   Serve.max_call_line_bytes;
-            }));
+            }))
+  in
+  let oversize () =
+    oversize_response ();
     Buffer.clear buf;
     discarding := true
   in
@@ -397,7 +440,8 @@ let reader t conn =
           match String.index_from_opt text start '\n' with
           | None -> Buffer.add_substring buf text start (n - start)
           | Some nl ->
-            handle_line t conn (String.sub text start (nl - start));
+            if nl - start > Serve.max_call_line_bytes then oversize_response ()
+            else handle_line t conn (String.sub text start (nl - start));
             go (nl + 1)
       in
       go 0
@@ -432,11 +476,20 @@ let reader t conn =
   (* Drain semantics: requests already admitted will still be answered
      by the executors; anything left unread in the kernel buffer is
      abandoned with the connection. *)
-  try loop ()
-  with e ->
-    (* a reader must never take the server down *)
-    Atomic.incr t.rejected;
-    Printf.eprintf "oglaf: reader error: %s\n%!" (Printexc.to_string e)
+  (try loop ()
+   with e ->
+     (* a reader must never take the server down *)
+     Atomic.incr t.rejected;
+     Printf.eprintf "oglaf: reader error: %s\n%!" (Printexc.to_string e));
+  (* Reader exit — EOF, reset, drain or error — releases the fd as
+     soon as the last admitted job has been answered, and marks the
+     domain reapable so the accept loop can join it and drop the
+     registry entry.  Without this, every short-lived client would
+     leak its fd (and domain) until final drain and a long-running
+     server would hit EMFILE. *)
+  Atomic.set conn.c_eof true;
+  release_conn conn;
+  Atomic.set conn.c_done true
 
 (* --- executors ------------------------------------------------------------ *)
 
@@ -455,21 +508,35 @@ let executor t =
     | None -> Mutex.unlock t.qmu
     | Some job ->
       Mutex.unlock t.qmu;
-      let r =
-        Serve.run_call ?threads:t.cfg.lc_threads ?sched:t.cfg.lc_sched
-          ?deadline_s:t.cfg.lc_deadline_s ~bytecode:t.cfg.lc_bytecode
-          ~retries:t.cfg.lc_retries job.wj_compiled job.wj_call
+      (* inline scripts compile here, post-admission: a shed request
+         never costs a compile, and compile work per executor is
+         serialized with its execution work *)
+      let compiled_r =
+        match job.wj_script with
+        | None -> Ok t.default_compiled
+        | Some script -> fst (Progcache.find_or_compile t.cache script)
       in
       let line =
-        match r with
-        | Ok oc ->
-          Atomic.incr t.ok;
-          outcome_response ~seq:job.wj_seq oc
+        match compiled_r with
         | Error fault ->
-          Atomic.incr t.failed;
+          Atomic.incr t.rejected;
           fault_response ~seq:job.wj_seq fault
+        | Ok compiled -> (
+          match
+            Serve.run_call ?threads:t.cfg.lc_threads ?sched:t.cfg.lc_sched
+              ?deadline_s:t.cfg.lc_deadline_s ~bytecode:t.cfg.lc_bytecode
+              ~retries:t.cfg.lc_retries compiled job.wj_call
+          with
+          | Ok oc ->
+            Atomic.incr t.ok;
+            outcome_response ~seq:job.wj_seq oc
+          | Error fault ->
+            Atomic.incr t.failed;
+            fault_response ~seq:job.wj_seq fault)
       in
       write_response t job.wj_conn line;
+      Atomic.decr job.wj_conn.c_inflight;
+      release_conn job.wj_conn;
       loop ()
   in
   try loop ()
@@ -549,6 +616,42 @@ let create ~config:cfg script_text =
 (** Ask the server to drain and exit; safe from a signal handler. *)
 let request_stop t = Atomic.set t.draining true
 
+(* Join finished reader domains and drop their registry entries;
+   returns the live-connection count (the [lc_max_conns] admission
+   figure).  [c_done] is the last thing a reader sets, so the joins
+   here never block meaningfully. *)
+let reap_connections t =
+  Mutex.lock t.cmu;
+  let finished, live =
+    List.partition (fun (c, _) -> Atomic.get c.c_done) t.conns
+  in
+  t.conns <- live;
+  let n_live = List.length live in
+  Mutex.unlock t.cmu;
+  List.iter (fun (_, dom) -> Domain.join dom) finished;
+  n_live
+
+(** Live (unreaped) connection count; for tests and status. *)
+let live_connections t =
+  Mutex.lock t.cmu;
+  let n = List.length t.conns in
+  Mutex.unlock t.cmu;
+  n
+
+(* Refuse a connection at the accept loop: one overload fault line at
+   [seq] 0 (no request was read, so no request number exists), then
+   close.  Used past the connection cap and when a reader domain
+   cannot be spawned. *)
+let refuse_connection t fd ~live =
+  Atomic.incr t.shed;
+  (try
+     write_all fd
+       (fault_response ~seq:0
+          (Fault.Overload_fault { pending = live; limit = t.cfg.lc_max_conns })
+       ^ "\n")
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 (** Accept connections and serve until {!request_stop}; returns the
     final {!stats} after a full drain (admitted jobs answered,
     connections closed, socket unlinked). *)
@@ -560,20 +663,51 @@ let serve t =
     if Atomic.get t.draining then ()
     else
       match Unix.select [ t.sock ] [] [] 0.1 with
-      | [], _, _ -> accept_loop ()
+      | [], _, _ ->
+        ignore (reap_connections t);
+        accept_loop ()
       | _ -> (
         match Unix.accept t.sock with
         | fd, _ ->
-          let conn =
-            { c_fd = fd; c_wmu = Mutex.create (); c_seq = 0; c_dead = false }
-          in
-          let dom = Domain.spawn (fun () -> reader t conn) in
-          Mutex.lock t.cmu;
-          t.conns <- (conn, dom) :: t.conns;
-          t.accepted <- t.accepted + 1;
-          Mutex.unlock t.cmu;
+          let live = reap_connections t in
+          if live >= t.cfg.lc_max_conns then refuse_connection t fd ~live
+          else begin
+            let conn =
+              {
+                c_fd = fd;
+                c_wmu = Mutex.create ();
+                c_seq = 0;
+                c_dead = false;
+                c_closed = false;
+                c_inflight = Atomic.make 0;
+                c_eof = Atomic.make false;
+                c_done = Atomic.make false;
+              }
+            in
+            match Domain.spawn (fun () -> reader t conn) with
+            | dom ->
+              Mutex.lock t.cmu;
+              t.conns <- (conn, dom) :: t.conns;
+              t.accepted <- t.accepted + 1;
+              Mutex.unlock t.cmu
+            | exception e ->
+              (* domain budget exhausted (Failure) or similar: shed
+                 this connection, keep the server up *)
+              Printf.eprintf "oglaf: reader spawn failed: %s\n%!"
+                (Printexc.to_string e);
+              refuse_connection t fd ~live
+          end;
           accept_loop ()
         | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) ->
+          accept_loop ()
+        | exception Unix.Unix_error (err, _, _) ->
+          (* EMFILE/ENFILE/ECONNABORTED and friends must shed, not
+             kill the process; back off briefly so a persistent error
+             cannot spin the loop *)
+          Printf.eprintf "oglaf: accept failed: %s\n%!"
+            (Unix.error_message err);
+          (try ignore (Unix.select [] [] [] 0.05)
+           with Unix.Unix_error _ -> ());
           accept_loop ())
       | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
   in
@@ -585,6 +719,7 @@ let serve t =
   let conns =
     Mutex.lock t.cmu;
     let c = t.conns in
+    t.conns <- [];
     Mutex.unlock t.cmu;
     c
   in
@@ -595,13 +730,10 @@ let serve t =
   Condition.broadcast t.qcv;
   Mutex.unlock t.qmu;
   Array.iter Domain.join executors;
-  List.iter
-    (fun (conn, _) ->
-      Mutex.lock conn.c_wmu;
-      conn.c_dead <- true;
-      (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
-      Mutex.unlock conn.c_wmu)
-    conns;
+  (* readers/executors already closed everything they finished with
+     ([release_conn]); this sweep only covers a conn whose last answer
+     raced the executor join, and [close_conn] is idempotent *)
+  List.iter (fun (conn, _) -> close_conn conn) conns;
   stats t
 
 (* --- client --------------------------------------------------------------- *)

@@ -250,6 +250,70 @@ let test_status_endpoint () =
   check_bool "cache block" true (contains st "\"cache\":{");
   check_bool "status consumes a seq" true (contains st "\"seq\":2")
 
+(* An oversized request must be rejected whether its newline trails in
+   later chunks (discard mode) or arrives inside the same read chunk
+   that blew the cap — the second case used to slip through. *)
+let test_oversize_line_rejected () =
+  with_server @@ fun path _srv ->
+  let cl = Listener.Client.connect path in
+  Fun.protect ~finally:(fun () -> Listener.Client.close cl) @@ fun () ->
+  let flood = String.make (Serve.max_call_line_bytes + 100) 'x' in
+  (* complete oversized line, newline included in the payload *)
+  let r = request_exn cl ("run " ^ flood) in
+  check_bool "oversized line is a parse fault" true
+    (contains r "\"class\":\"parse\"");
+  check_bool "fault names the cap" true (contains r "exceeds");
+  (* the connection resyncs and keeps serving *)
+  let r = request_exn cl "run pi_mid(10)" in
+  check_bool "connection survives the flood" true (contains r "\"ok\":true")
+
+(* Shed requests must not cost a compile: with a 1-deep queue and a
+   slow single executor, a pipelined burst of distinct inline scripts
+   may only add cache misses for the requests that were admitted. *)
+let slow_variant_script k =
+  Printf.sprintf
+    {|program lsn_slow%d
+module m
+function f returns real8
+  param n integer
+  grid acc real8
+  step compute
+    set acc = 0.0
+    foreach i = 1, n schedule static
+      set acc = acc + %d.0
+    end foreach
+    return acc
+end program
+|}
+    k k
+
+let test_shed_requests_skip_compile () =
+  with_server
+    ~config_f:(fun c ->
+      { c with Listener.lc_max_pending = 1; lc_executors = 1; lc_threads = Some 1 })
+    ~after:(fun st ->
+      check_bool "burst shed something" true (st.Listener.ls_shed >= 1);
+      (* misses = startup compile + one per *admitted* distinct script;
+         shed requests never reach the cache *)
+      check_int "compile only after admission"
+        (1 + st.Listener.ls_ok + st.Listener.ls_failed)
+        st.Listener.ls_cache.Progcache.cs_misses)
+  @@ fun path _srv ->
+  Fun.protect ~finally:Faultinject.clear @@ fun () ->
+  (match Faultinject.parse_plan "delay-chunk:0:100" with
+  | Ok p -> Faultinject.set_plan p
+  | Error msg -> Alcotest.fail msg);
+  let cl = Listener.Client.connect path in
+  Fun.protect ~finally:(fun () -> Listener.Client.close cl) @@ fun () ->
+  let n = 8 in
+  for k = 1 to n do
+    Listener.Client.send_line cl
+      (Printf.sprintf "run f(100)\t%s"
+         (Listener.escape_script (slow_variant_script k)))
+  done;
+  let responses = List.init n (fun _ -> recv_exn cl) in
+  check_int "every request answered" n (List.length responses)
+
 (* --- resilience ----------------------------------------------------------- *)
 
 let test_client_crash_leaves_server_up () =
@@ -266,6 +330,80 @@ let test_client_crash_leaves_server_up () =
   Fun.protect ~finally:(fun () -> Listener.Client.close cl2) @@ fun () ->
   let r = request_exn cl2 "run pi_mid(10)" in
   check_bool "second client served after a crash" true (contains r "\"ok\":true")
+
+(* Disconnected clients must release their fd and reader domain while
+   the server keeps running — not pile up until final drain. *)
+let count_open_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Some (Array.length entries)
+  | exception Sys_error _ -> None
+
+let poll_until ?(timeout_s = 10.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      go ()
+    end
+  in
+  go ()
+
+let test_short_lived_clients_release_fds () =
+  with_server
+    ~after:(fun st ->
+      check_int "all connections accepted" 20 st.Listener.ls_accepted)
+  @@ fun path srv ->
+  let fds_before = count_open_fds () in
+  for _ = 1 to 20 do
+    let cl = Listener.Client.connect path in
+    Fun.protect ~finally:(fun () -> Listener.Client.close cl) @@ fun () ->
+    let r = request_exn cl "run pi_mid(10)" in
+    check_bool "served" true (contains r "\"ok\":true")
+  done;
+  (* the accept loop reaps closed connections within its poll tick *)
+  check_bool "connection registry drains to zero" true
+    (poll_until (fun () -> Listener.live_connections srv = 0));
+  match (fds_before, count_open_fds ()) with
+  | Some before, Some after ->
+    check_bool
+      (Printf.sprintf "no fd leak across 20 connections (%d -> %d)" before
+         after)
+      true
+      (after <= before + 2)
+  | _ -> ()  (* no /proc: the registry check above still holds *)
+
+(* Connections past the cap are shed at accept with one overload fault
+   line at seq 0, and the server keeps serving the live ones. *)
+let test_connection_cap_sheds () =
+  with_server
+    ~config_f:(fun c -> { c with Listener.lc_max_conns = 2 })
+    ~after:(fun st ->
+      check_bool "refused connection counted as shed" true
+        (st.Listener.ls_shed >= 1))
+  @@ fun path _srv ->
+  let cl1 = Listener.Client.connect path in
+  Fun.protect ~finally:(fun () -> Listener.Client.close cl1) @@ fun () ->
+  let cl2 = Listener.Client.connect path in
+  Fun.protect ~finally:(fun () -> Listener.Client.close cl2) @@ fun () ->
+  (* lock-step requests guarantee both readers are registered *)
+  ignore (request_exn cl1 "run pi_mid(10)");
+  ignore (request_exn cl2 "run pi_mid(10)");
+  let cl3 = Listener.Client.connect path in
+  Fun.protect ~finally:(fun () -> Listener.Client.close cl3) @@ fun () ->
+  (match Listener.Client.recv_line ~timeout_s:30.0 cl3 with
+  | None -> Alcotest.fail "no shed response on the refused connection"
+  | Some r ->
+    check_bool "overload fault" true (contains r "\"class\":\"overload\"");
+    check_bool "connection-level seq 0" true (contains r "\"seq\":0");
+    check_bool "cap echoed as limit" true (contains r "\"limit\":2"));
+  (* the refused connection is closed server-side: EOF, not a hang *)
+  check_bool "refused connection closed" true
+    (Listener.Client.recv_line ~timeout_s:30.0 cl3 = None);
+  (* live connections keep serving *)
+  let r = request_exn cl1 "run pi_mid(10)" in
+  check_bool "live connection unaffected" true (contains r "\"ok\":true")
 
 let test_degraded_mode_keeps_answering () =
   with_server
@@ -421,12 +559,20 @@ let suites =
       [
         Alcotest.test_case "overload sheds structured faults" `Quick
           test_overload_sheds_with_structured_fault;
+        Alcotest.test_case "oversized line rejected" `Quick
+          test_oversize_line_rejected;
+        Alcotest.test_case "shed requests skip compile" `Quick
+          test_shed_requests_skip_compile;
         Alcotest.test_case "status endpoint" `Quick test_status_endpoint;
       ] );
     ( "listener.resilience",
       [
         Alcotest.test_case "client crash" `Quick
           test_client_crash_leaves_server_up;
+        Alcotest.test_case "short-lived clients release fds" `Quick
+          test_short_lived_clients_release_fds;
+        Alcotest.test_case "connection cap sheds" `Quick
+          test_connection_cap_sheds;
         Alcotest.test_case "degraded mode keeps answering" `Quick
           test_degraded_mode_keeps_answering;
         Alcotest.test_case "drain answers admitted requests" `Quick
