@@ -160,8 +160,26 @@ let no_bytecode_flag =
           "Force the tree-walking interpreter for every loop body \
            (differential testing; bytecode lowering is on by default).")
 
+let bytecode_stats_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "bytecode-stats" ]
+        ~doc:
+          "After the call, print one line per compiled construct (loop or \
+           subprogram body) with its run/bail counts and, when it bailed, \
+           the construct that stopped compilation.")
+
+let print_bytecode_stats rows =
+  List.iter
+    (fun (r : Glaf_interp.Interp.bytecode_row) ->
+      Printf.eprintf "bytecode %-24s runs=%-8d bails=%-8d%s\n" r.r_label
+        r.r_runs r.r_bails
+        (match r.r_reason with Some why -> " bail=" ^ why | None -> ""))
+    rows
+
 let run_cmd =
-  let run script fname args threads no_bytecode =
+  let run script fname args threads no_bytecode bc_stats =
     protect @@ fun () ->
     let annotated, _, opts = pipeline (load_script script) in
     let src = Glaf_codegen.Fortran_gen.to_source ~opts annotated in
@@ -179,15 +197,16 @@ let run_cmd =
             | None -> usage_die "--arg %S is not an integer or real literal" a))
         args
     in
-    match Glaf_interp.Interp.call st fname actuals with
+    (match Glaf_interp.Interp.call st fname actuals with
     | Some v -> print_endline (Glaf_runtime.Value.to_string v)
-    | None -> print_endline "(subroutine completed)"
+    | None -> print_endline "(subroutine completed)");
+    if bc_stats then print_bytecode_stats (Glaf_interp.Interp.bytecode_stats_for st)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and interpret a function of a GPI script")
     Term.(
       const run $ script_arg $ call_arg $ fun_args $ threads_arg
-      $ no_bytecode_flag)
+      $ no_bytecode_flag $ bytecode_stats_flag)
 
 (* --- serve -------------------------------------------------------------- *)
 

@@ -1,4 +1,4 @@
-(** Bytecode compiler for interpreter loop bodies.
+(** Bytecode compiler for interpreter loop bodies and whole subprograms.
 
     The tree-walker pays a [Hashtbl.find], an exception handler and a
     closure allocation or two on every statement of every iteration.
@@ -6,16 +6,22 @@
     FUN3D's edge loops) that per-iteration overhead dwarfs the actual
     arithmetic, so eligible loop bodies are lowered once to a flat
     register-style instruction array and executed by {!Vm}'s dispatch
-    loop instead.
+    loop instead.  Since PR 9 the lowering also crosses call
+    boundaries: user subprograms compile once into cached programs
+    ({!compile_sub}), call sites marshal arguments with the exact
+    by-reference semantics of the tree-walker's [bind_actual]
+    ([Icall]), small leaf subprograms are inlined into the caller's
+    instruction stream, and all-real / all-int programs additionally
+    carry an unboxed typed-register variant (see {!specialize}).
 
-    Design rules (DESIGN.md section 13):
-    - {e Compile or fall back, never approximate.}  [compile] returns
-      [None] for any construct whose tree-walk semantics we are not
-      prepared to replicate exactly (subroutine/function calls,
-      ALLOCATE/DEALLOCATE, array sections, derived-type arrays,
-      implied-do, STOP-free [allocated()], nested parallel loops,
-      names that are not yet in scope).  The caller then runs the
-      tree-walker, so behaviour is unchanged by construction.
+    Design rules (DESIGN.md sections 13 and 16):
+    - {e Compile or fall back, never approximate.}  Compilation raises
+      {!Bail} (with the offending construct's name, for the stats
+      counters) for anything whose tree-walk semantics we are not
+      prepared to replicate exactly; the caller then runs the
+      tree-walker, so behaviour is unchanged by construction.  The
+      fallback unit is one construct — a loop body, one call site, one
+      callee — never the whole program.
     - {e Same operations, same order.}  Generated code calls the exact
       [Value]/[Farray]/[Intrinsics] functions the tree-walker calls,
       in the same evaluation order, so results — including error
@@ -24,32 +30,195 @@
       against a representative scope but records only (name, field
       path, kind); {!Vm.bind} re-resolves against the executing scope
       (each pooled worker's private clone) and refuses mismatches,
-      falling back to the tree-walker.  Compiled programs are
-      therefore shared safely across calls, threads and states (keyed
-      by physical identity of the loop-body AST, which the parser
-      creates once). *)
+      falling back to the tree-walker.  Anything compilation baked in
+      from the representative scope — folded PARAMETER values, names
+      it resolved as intrinsics or functions because they were not
+      variables — is recorded in [checks]/[negatives] and re-verified
+      at bind time, so a structurally identical body in a differently
+      shaped scope can never run the wrong code.
+    - {e Keyed by structure, not identity.}  Programs are cached by an
+      MD5 digest of the marshalled AST (namespaced by the digest of
+      the whole compilation unit, because call compilation consults
+      the unit's subprogram table), so re-parsing an identical inline
+      script — the listener does this on every request — hits the
+      cache instead of recompiling. *)
 
 open Glaf_fortran
 open Glaf_runtime
 
 (** Scalar binding descriptor: [spath] is the derived-type component
-    chain ([fo%fuir] gives [sname = "fo"], [spath = ["fuir"]]). *)
-type scalar_ref = { sname : string; spath : string list }
+    chain ([fo%fuir] gives [sname = "fo"], [spath = ["fuir"]]).
+    [sbase] is the declared base type seen at compile time; only the
+    typed specializer relies on it (and the typed bind re-checks). *)
+type scalar_ref = { sname : string; spath : string list; sbase : Ast.base_type }
 
 (** Array binding descriptor; [asubs] is the subscript count at the
-    use sites (0 = whole-array reference, no rank requirement). *)
-type array_ref = { aname : string; apath : string list; asubs : int }
+    use sites (0 = whole-array reference, no rank requirement).
+    [aelem] is the element kind seen at compile time; used by the
+    typed specializer and re-validated by the typed bind. *)
+type array_ref = {
+  aname : string;
+  apath : string list;
+  asubs : int;
+  aelem : Farray.elem;
+}
+
+(** How one actual argument of a compiled call site is passed.  The
+    three shapes mirror the tree-walker's [bind_actual] exactly:
+    whole-variable designators alias the slot, array elements are
+    copy-in/copy-out against indices evaluated {e before} the value
+    (the tree-walker resolves the lvalue first), everything else is a
+    plain copied value. *)
+type arg_spec =
+  | Arg_alias of int  (** raw-slot id: pass the caller's slot itself *)
+  | Arg_value of int  (** register holding the evaluated value *)
+  | Arg_elem of { ae_arr : int; ae_idx : int array; ae_val : int }
+      (** array id, index registers (already [to_int]ed, the lvalue
+          pass), value register (the bounds-checked re-evaluation) *)
+
+(** A compiled call site.  The callee AST rides along so the VM's
+    [callenv] can dispatch it without any name lookup: the same
+    (subprogram, module) pair the compiler resolved. *)
+type call_site = {
+  cs_sub : Ast.subprogram;
+  cs_mod : string option;  (** enclosing module, for the callee scope *)
+  cs_name : string;  (** call-site spelling, for error messages *)
+  cs_args : arg_spec array;
+  cs_dst : int;  (** function-result register; [-1] = statement CALL *)
+}
+
+(** The VM's one hook back into the interpreter: run a callee with
+    pre-marshalled bindings.  [ce_call sub mod_name name bindings]
+    must behave exactly like the tail of the tree-walker's
+    [call_subprogram] (scope setup, body, copy-out, result). *)
+type callenv = {
+  ce_call :
+    Ast.subprogram ->
+    string option ->
+    string ->
+    Storage.arg_binding list ->
+    Value.t option;
+}
+
+(** {1 Typed register files}
+
+    When every register of a program is provably a float, an int or a
+    bool, {!specialize} re-emits it over split unboxed register banks
+    (a [float array] and an [int array]; bools live in the int bank as
+    0/1).  Every typed opcode performs the same primitive float/int
+    operation, in the same order, as its boxed counterpart — unboxing
+    removes allocation and dispatch cost, never changes an IEEE-754
+    bit (DESIGN.md section 16 has the instruction-by-instruction
+    argument). *)
+
+type cmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+type tinstr =
+  | TconstF of int * float
+  | TconstI of int * int  (** ints; bools are 0/1 in the int bank *)
+  | TmovF of int * int
+  | TmovI of int * int
+  | TldsF of int * int  (** dst <- slot (must hold Real), scalar id *)
+  | TldsI of int * int
+  | TldsB of int * int  (** dst (int bank, 0/1) <- Bool slot *)
+  | TstsF of int * int  (** slot <- Real dst: declared-real slot *)
+  | TstsF_ofI of int * int  (** declared-real slot <- float_of_int reg *)
+  | TstsI of int * int
+  | TstsI_ofF of int * int  (** declared-int slot <- int_of_float reg *)
+  | TstsB of int * int
+  | TstsI_raw of int * int  (** raw DO-variable store, no coercion *)
+  | Ti2f of int * int  (** float dst <- float_of_int int src *)
+  | Tf2i of int * int  (** int dst <- int_of_float float src *)
+  | Tld1F of int * int * int  (** dst, array id, index reg (rank 1) *)
+  | Tld2F of int * int * int * int
+  | Tld1I of int * int * int
+  | Tld2I of int * int * int * int
+  | Tst1F of int * int * int  (** array id, index reg, src *)
+  | Tst2F of int * int * int * int
+  | Tst1I of int * int * int
+  | Tst2I of int * int * int * int
+  | TaddF of int * int * int
+  | TsubF of int * int * int
+  | TmulF of int * int * int
+  | TdivF of int * int * int
+  | TpowF of int * int * int
+  | TaddI of int * int * int
+  | TsubI of int * int * int
+  | TmulI of int * int * int
+  | TdivI of int * int * int  (** checks the divisor like [Value.div] *)
+  | TmodI of int * int * int  (** MOD intrinsic, int args *)
+  | TcmpF of cmp * int * int * int  (** int dst <- 0/1, [Float.compare] *)
+  | TcmpI of cmp * int * int * int
+  | TnegF of int * int
+  | TnegI of int * int
+  | Tnot of int * int  (** int dst <- 1 - (src <> 0) *)
+  | Tbool of int * int  (** int dst <- src <> 0 (normalize to 0/1) *)
+  | Tcheck_step of int  (** error if int reg is 0 *)
+  | Tin1F of string * (float -> float) * int * int  (** intrinsic f(x) *)
+  | Tin2F of string * (float -> float -> float) * int * int * int
+  | TfniF of string * (float -> int) * int * int  (** nint/floor/... *)
+  | TmaxF of int * int * int  (** IEEE [>] pick, like variadic_minmax *)
+  | TminF of int * int * int
+  | TmaxI of int * int * int  (** compared via float_of_int, like boxed *)
+  | TminI of int * int * int
+  | TabsF of int * int
+  | TabsI of int * int
+  | Tjmp of int
+  | Tjf of int * int  (** jump when int reg = 0 *)
+  | Tjt of int * int
+  | Tloop_test of { t_ireg : int; t_hireg : int; t_stepreg : int; t_target : int }
+  | Tinc of int * int
+  | Tloop_fini of { t_sid : int; t_loreg : int; t_hireg : int; t_stepreg : int }
+  | Tpoll
+  | Tcrit_enter
+  | Tcrit_exit
+  | Treturn
+  | Texit
+
+(** A typed variant of a program: same scalars/arrays tables (ids are
+    shared), registers split across float and int banks.  [t_sty]
+    gives the value kind every scalar slot must hold for the typed
+    code to be exact; the typed bind re-checks it and falls back to
+    the boxed frame on mismatch. *)
+type ty = TF | TI | TB
+
+type tprogram = {
+  tcode : tinstr array;
+  t_nf : int;  (** float-bank size *)
+  t_ni : int;  (** int-bank size *)
+  t_sty : ty array;  (** per-scalar expected value kind *)
+}
+
+type program = {
+  code : instr array;
+  nregs : int;
+  scalars : scalar_ref array;
+  arrays : array_ref array;
+  raws : string array;
+      (** whole-slot aliases for [Icall] marshalling: resolved by name
+          at bind time, any entry kind *)
+  checks : (scalar_ref * Value.t) array;
+      (** PARAMETER scalars folded into the code as constants; bind
+          verifies the executing scope still holds exactly this value *)
+  negatives : string array;
+      (** names compilation resolved as not-in-scope (intrinsics, user
+          functions); bind verifies they are still not variables *)
+  typed : tprogram option;
+}
 
 (** Register-style instructions.  [int] operands are register indices
     except where noted; jump targets are instruction indices. *)
-type instr =
+and instr =
   | Iconst of int * Value.t  (** dst <- literal / folded constant *)
   | Icopy of int * int  (** dst <- src *)
   | Iload of int * int  (** dst <- scalar slot (scalar id) *)
-  | Istore of int * int  (** scalar id <- coerce base src *)
+  | Istore of int * int  (** scalar id <- coerce slot.base src *)
   | Istore_raw of int * int
       (** scalar id <- src, no coercion (DO-variable stores, matching
           the tree-walker's raw [Scalar (Int i)] writes) *)
+  | Icoerce of Ast.base_type * int * int
+      (** dst <- [Value.coerce base] src: assignment to an inlined
+          callee local, replicating the tree-walker's slot store *)
   | Iload_arr of int * int  (** dst <- whole-array value (array id) *)
   | Istore_whole of int * int  (** whole-array assignment: array id, src *)
   | Iload1 of int * int * int  (** dst, array id, index reg (rank 1) *)
@@ -64,8 +233,14 @@ type instr =
   | Ibool of int * int  (** dst <- Bool (to_bool src) *)
   | Ito_int of int * int  (** dst <- Int (to_int src) *)
   | Icheck_step of int  (** error if reg is integer 0 (DO step) *)
-  | Iintr of (Value.t list -> Value.t) * int * int array
-      (** pre-resolved intrinsic: fn, dst, arg regs *)
+  | Iintr of string * (Value.t list -> Value.t) * int * int array
+      (** pre-resolved intrinsic: lowercase name (for the typed
+          specializer), fn, dst, arg regs *)
+  | Icall of call_site  (** marshal arguments, run the callee *)
+  | Idummy_adjust of int
+      (** scalar id; the [setup_scope] dummy-redeclaration quirk for a
+          dummy declared REAL: an aliased slot holding an Int is
+          rewritten in place to [Real (to_float v)] *)
   | Ijmp of int
   | Ijf of int * int  (** jump when to_bool reg is false *)
   | Ijt of int * int  (** jump when to_bool reg is true *)
@@ -85,18 +260,27 @@ type instr =
   | Istop of string option
   | Iexit  (** top-level EXIT: end body, signal loop exit *)
 
-type program = {
-  code : instr array;
-  nregs : int;
-  scalars : scalar_ref array;
-  arrays : array_ref array;
+(** Compilation environment beyond the representative scope: what the
+    unit as a whole provides.  [e_unit] namespaces the program cache
+    and the stats sites; [e_subs] is the interpreter's subprogram
+    table (shared, read-only here); [e_calls] gates call compilation
+    so benchmarks can reproduce the PR 6 "mixed" path; and
+    [e_module_scope] peeks at already-initialized module scopes
+    (never forcing initialization) for the inliner's shadowing check. *)
+type env = {
+  e_unit : string;
+  e_subs : (string, Ast.subprogram * string option) Hashtbl.t;
+  e_calls : bool;
+  e_module_scope : string -> Storage.scope option;
 }
 
 (* --- compilation context ------------------------------------------------- *)
 
-exception Bail  (* construct not covered: caller falls back to tree-walk *)
+(* Construct not covered: caller falls back to tree-walk.  The string
+   is the construct's name, surfaced through the bail counters. *)
+exception Bail of string
 
-let bail () = raise Bail
+let bail reason = raise (Bail reason)
 
 type vec = { mutable items : instr array; mutable len : int }
 
@@ -120,17 +304,34 @@ type loop_ctx = {
   crit_at_entry : int;
 }
 
+(* How a name inside an inlined callee resolves: a caller scalar slot
+   (aliased dummy) or a plain register (callee local / result). *)
+type ibind = Ib_slot of int | Ib_reg of int * Ast.base_type
+
+type iframe = {
+  imap : (string, ibind) Hashtbl.t;
+  mutable iret : int list;  (* RETURN -> jump-to-inline-end patch sites *)
+}
+
 type ctx = {
+  env : env;
   scope : Storage.scope;
+  in_sub : bool;  (* compiling a whole subprogram body *)
   code : vec;
   mutable nregs : int;
   scalar_ids : (string * string list, int) Hashtbl.t;
   mutable scalar_refs : scalar_ref list;  (* reversed *)
   array_ids : (string * string list * int, int) Hashtbl.t;
   mutable array_refs : array_ref list;  (* reversed *)
+  raw_ids : (string, int) Hashtbl.t;
+  mutable raw_refs : string list;  (* reversed *)
+  check_ids : (string * string list, unit) Hashtbl.t;
+  mutable checks : (scalar_ref * Value.t) list;
+  negs : (string, unit) Hashtbl.t;
   mutable loops : loop_ctx list;  (* innermost first *)
   mutable crit : int;  (* compile-time CRITICAL nesting depth *)
   mutable end_patches : int list;  (* top-level CYCLE -> end of body *)
+  mutable inline : iframe option;  (* set while expanding a leaf callee *)
 }
 
 let reg ctx =
@@ -156,17 +357,19 @@ let patch ctx at target =
     | Iloop_test lt -> Iloop_test { lt with target }
     | _ -> assert false)
 
-let scalar_id ctx name path =
+let scalar_id ctx (slot : Storage.slot) name path =
   let key = (name, path) in
   match Hashtbl.find_opt ctx.scalar_ids key with
   | Some id -> id
   | None ->
     let id = Hashtbl.length ctx.scalar_ids in
     Hashtbl.replace ctx.scalar_ids key id;
-    ctx.scalar_refs <- { sname = name; spath = path } :: ctx.scalar_refs;
+    ctx.scalar_refs <-
+      { sname = name; spath = path; sbase = slot.Storage.base }
+      :: ctx.scalar_refs;
     id
 
-let array_id ctx name path nsubs =
+let array_id ctx elem name path nsubs =
   let key = (name, path, nsubs) in
   match Hashtbl.find_opt ctx.array_ids key with
   | Some id -> id
@@ -174,8 +377,188 @@ let array_id ctx name path nsubs =
     let id = Hashtbl.length ctx.array_ids in
     Hashtbl.replace ctx.array_ids key id;
     ctx.array_refs <-
-      { aname = name; apath = path; asubs = nsubs } :: ctx.array_refs;
+      { aname = name; apath = path; asubs = nsubs; aelem = elem }
+      :: ctx.array_refs;
     id
+
+let raw_id ctx name =
+  match Hashtbl.find_opt ctx.raw_ids name with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length ctx.raw_ids in
+    Hashtbl.replace ctx.raw_ids name id;
+    ctx.raw_refs <- name :: ctx.raw_refs;
+    id
+
+let note_check ctx (slot : Storage.slot) name path v =
+  let key = (name, path) in
+  if not (Hashtbl.mem ctx.check_ids key) then begin
+    Hashtbl.replace ctx.check_ids key ();
+    ctx.checks <-
+      ({ sname = name; spath = path; sbase = slot.Storage.base }, v)
+      :: ctx.checks
+  end
+
+let note_negative ctx name =
+  if not (Hashtbl.mem ctx.negs name) then Hashtbl.replace ctx.negs name ()
+
+(* --- digests and global tables ------------------------------------------- *)
+
+(* One global mutex guards the digest memos, the program cache and the
+   stats table.  Compiles run outside it (double-checked insert); only
+   Hashtbl lookups and small Marshal digests run under it. *)
+let global_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock global_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock global_mutex) f
+
+let digest_of x =
+  Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.No_sharing ]))
+
+module Phys_stmts = Hashtbl.Make (struct
+  type t = Ast.stmt list
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+module Phys_sub = Hashtbl.Make (struct
+  type t = Ast.subprogram
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+module Phys_cu = Hashtbl.Make (struct
+  type t = Ast.compilation_unit
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* The parser builds each AST once, so memoizing digests by physical
+   identity makes the digest cost once-per-AST, not once-per-call. *)
+let body_digest_tbl : string Phys_stmts.t = Phys_stmts.create 64
+let sub_digest_tbl : string Phys_sub.t = Phys_sub.create 64
+let unit_key_tbl : string Phys_cu.t = Phys_cu.create 16
+
+let body_digest (body : Ast.stmt list) =
+  match locked (fun () -> Phys_stmts.find_opt body_digest_tbl body) with
+  | Some d -> d
+  | None ->
+    let d = digest_of body in
+    locked (fun () -> Phys_stmts.replace body_digest_tbl body d);
+    d
+
+let sub_digest (sp : Ast.subprogram) =
+  match locked (fun () -> Phys_sub.find_opt sub_digest_tbl sp) with
+  | Some d -> d
+  | None ->
+    let d = digest_of sp in
+    locked (fun () -> Phys_sub.replace sub_digest_tbl sp d);
+    d
+
+(** Stable cache/stats namespace for a compilation unit: the digest of
+    its whole AST, so structurally identical re-parses share it. *)
+let unit_key (cu : Ast.compilation_unit) =
+  match locked (fun () -> Phys_cu.find_opt unit_key_tbl cu) with
+  | Some k -> k
+  | None ->
+    let k = "u" ^ digest_of cu in
+    locked (fun () -> Phys_cu.replace unit_key_tbl cu k);
+    k
+
+(** {1 Bail / coverage statistics}
+
+    One site per compiled construct (loop body or subprogram body),
+    keyed by (unit, site id).  [sk_runs] counts bytecode executions,
+    [sk_bails] counts tree-walk fallbacks (compile bails and bind
+    refusals alike); [sk_reason] names the first construct that made
+    compilation bail, when it did. *)
+module Stats = struct
+  type site = {
+    sk_unit : string;
+    sk_id : string;
+    sk_label : string;
+    mutable sk_reason : string option;
+    sk_runs : int Atomic.t;
+    sk_bails : int Atomic.t;
+  }
+
+  (* A read-only copy of a site, for reporting. *)
+  type row = {
+    r_unit : string;
+    r_id : string;
+    r_label : string;
+    r_reason : string option;
+    r_runs : int;
+    r_bails : int;
+  }
+
+  let tbl : (string * string, site) Hashtbl.t = Hashtbl.create 64
+
+  let get ~unit_key ~id ~label : site =
+    locked (fun () ->
+        match Hashtbl.find_opt tbl (unit_key, id) with
+        | Some s -> s
+        | None ->
+          let s =
+            {
+              sk_unit = unit_key;
+              sk_id = id;
+              sk_label = label;
+              sk_reason = None;
+              sk_runs = Atomic.make 0;
+              sk_bails = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace tbl (unit_key, id) s;
+          s)
+
+  let run s = Atomic.incr s.sk_runs
+  let bail s = Atomic.incr s.sk_bails
+
+  let set_reason s reason =
+    locked (fun () ->
+        match s.sk_reason with
+        | Some _ -> ()
+        | None -> s.sk_reason <- Some reason)
+
+  let snapshot () : row list =
+    let rows =
+      locked (fun () ->
+          Hashtbl.fold
+            (fun _ s acc ->
+              {
+                r_unit = s.sk_unit;
+                r_id = s.sk_id;
+                r_label = s.sk_label;
+                r_reason = s.sk_reason;
+                r_runs = Atomic.get s.sk_runs;
+                r_bails = Atomic.get s.sk_bails;
+              }
+              :: acc)
+            tbl [])
+    in
+    List.sort
+      (fun a b ->
+        match compare a.r_unit b.r_unit with
+        | 0 -> compare a.r_id b.r_id
+        | c -> c)
+      rows
+
+  let reset () = locked (fun () -> Hashtbl.reset tbl)
+
+  let purge_unit u =
+    locked (fun () ->
+        let doomed =
+          Hashtbl.fold
+            (fun k s acc -> if s.sk_unit = u then k :: acc else acc)
+            tbl []
+        in
+        List.iter (Hashtbl.remove tbl) doomed)
+end
 
 (* --- constant folding ---------------------------------------------------- *)
 
@@ -227,6 +610,250 @@ let rec static_eval (e : Ast.expr) : Value.t option =
       with Value.Runtime_error _ -> None)
     | _ -> None)
   | Ast.Desig _ | Ast.Implied_do _ | Ast.Section _ -> None
+
+(* --- callee analysis ----------------------------------------------------- *)
+
+(* The top-level expressions a statement evaluates itself (bodies of
+   nested constructs are visited separately by fold_stmts). *)
+let stmt_exprs (s : Ast.stmt) : Ast.expr list =
+  match s with
+  | Ast.Assign (d, e) -> [ Ast.Desig d; e ]
+  | Ast.If_arith (c, _) -> [ c ]
+  | Ast.If_block (branches, _) -> List.map fst branches
+  | Ast.Do l -> (
+    match l.Ast.do_step with
+    | Some st -> [ l.Ast.do_lo; l.Ast.do_hi; st ]
+    | None -> [ l.Ast.do_lo; l.Ast.do_hi ])
+  | Ast.Do_while (c, _) -> [ c ]
+  | Ast.Call (_, args) -> args
+  | Ast.Print args -> args
+  | Ast.Allocate allocs -> List.concat_map (fun (d, es) -> Ast.Desig d :: es) allocs
+  | Ast.Deallocate ds -> List.map (fun d -> Ast.Desig d) ds
+  | Ast.Stop _ | Ast.Return | Ast.Exit | Ast.Cycle | Ast.Continue
+  | Ast.Comment _ | Ast.Omp_barrier ->
+    []
+  | Ast.Omp_atomic _ | Ast.Omp_critical _ -> []
+
+(* Names [sp] binds as variables: dummies, declared entities, COMMON
+   members.  A designator head outside this set is an intrinsic or a
+   function reference. *)
+let local_var_names (sp : Ast.subprogram) : (string, unit) Hashtbl.t =
+  let vars = Hashtbl.create 16 in
+  (* the function's own name is its result variable, not a callee:
+     without this every RETURN-carrying function looks self-recursive *)
+  Hashtbl.replace vars sp.Ast.sub_name ();
+  Hashtbl.replace vars (String.lowercase_ascii sp.Ast.sub_name) ();
+  List.iter (fun n -> Hashtbl.replace vars n ()) sp.Ast.sub_args;
+  List.iter
+    (function
+      | Ast.Var_decl { entities; _ } ->
+        List.iter (fun e -> Hashtbl.replace vars e.Ast.ent_name ()) entities
+      | Ast.Common (_, names) ->
+        List.iter (fun n -> Hashtbl.replace vars n ()) names
+      | _ -> ())
+    sp.Ast.sub_decls;
+  vars
+
+(* The dummies [sp] may write: assignment/DO/ALLOCATE heads, whole-var
+   actuals of nested calls, whole-var arguments of function-looking
+   designator heads, and dummies the setup_scope redeclaration quirk
+   can rewrite (declared REAL over an aliased Int).  Conservative by
+   construction: used to refuse compiled calls that would mutate a
+   caller PARAMETER slot our constant folding relies on. *)
+let written_memo : (string, unit) Hashtbl.t Phys_sub.t = Phys_sub.create 32
+
+let written_dummies (sp : Ast.subprogram) : (string, unit) Hashtbl.t =
+  match locked (fun () -> Phys_sub.find_opt written_memo sp) with
+  | Some w -> w
+  | None ->
+    let dummies = sp.Ast.sub_args in
+    let w = Hashtbl.create 8 in
+    let note n = if List.mem n dummies then Hashtbl.replace w n () in
+    let vars = local_var_names sp in
+    List.iter
+      (function
+        | Ast.Var_decl { base; entities; _ }
+          when base = Ast.Real || base = Ast.Real8 ->
+          List.iter (fun e -> note e.Ast.ent_name) entities
+        | _ -> ())
+      sp.Ast.sub_decls;
+    let check_expr e =
+      Ast.fold_expr
+        (fun () e ->
+          match e with
+          | Ast.Desig ((h, hargs) :: _)
+            when (not (Hashtbl.mem vars h))
+                 && not
+                      (Hashtbl.mem Intrinsics.tbl (String.lowercase_ascii h))
+            ->
+            (* function-looking head: its whole-var arguments bind by
+               reference in the callee and may be written there *)
+            List.iter
+              (function Ast.Desig [ (n, []) ] -> note n | _ -> ())
+              hargs
+          | _ -> ())
+        () e
+    in
+    Ast.fold_stmts
+      (fun () s ->
+        (match s with
+        | Ast.Assign ((h, _) :: _, _) -> note h
+        | Ast.Do l -> note l.Ast.do_var
+        | Ast.Allocate allocs ->
+          List.iter
+            (fun (d, _) -> match d with (h, _) :: _ -> note h | [] -> ())
+            allocs
+        | Ast.Deallocate ds ->
+          List.iter (function (h, _) :: _ -> note h | [] -> ()) ds
+        | Ast.Call (_, args) ->
+          List.iter
+            (function Ast.Desig [ (n, []) ] -> note n | _ -> ())
+            args
+        | _ -> ());
+        List.iter check_expr (stmt_exprs s))
+      () sp.Ast.sub_body;
+    locked (fun () -> Phys_sub.replace written_memo sp w);
+    w
+
+(* Transitively: can running [sp] allocate or deallocate?  A bound
+   frame caches Farray buffers and bounds, so a compiled call site
+   must never reach ALLOCATE/DEALLOCATE — the tree-walker re-resolves
+   storage on every access and tolerates it, the VM does not.
+   Recursion is treated as may-allocate (conservative). *)
+let alloc_memo : bool Phys_sub.t = Phys_sub.create 32
+
+let rec may_alloc env (seen : Ast.subprogram list) (sp : Ast.subprogram) : bool
+    =
+  if List.memq sp seen then true
+  else
+    match locked (fun () -> Phys_sub.find_opt alloc_memo sp) with
+    | Some b -> b
+    | None ->
+      let seen = sp :: seen in
+      let found = ref false in
+      let vars = local_var_names sp in
+      let check_callee n =
+        match Hashtbl.find_opt env.e_subs (String.lowercase_ascii n) with
+        | Some (callee, _) -> if may_alloc env seen callee then found := true
+        | None -> ()
+      in
+      let check_expr e =
+        Ast.fold_expr
+          (fun () e ->
+            match e with
+            | Ast.Desig ((h, _) :: _) when not (Hashtbl.mem vars h) ->
+              check_callee h
+            | _ -> ())
+          () e
+      in
+      Ast.fold_stmts
+        (fun () s ->
+          (match s with
+          | Ast.Allocate _ | Ast.Deallocate _ -> found := true
+          | Ast.Call (n, _) -> check_callee n
+          | _ -> ());
+          List.iter check_expr (stmt_exprs s))
+        () sp.Ast.sub_body;
+      locked (fun () -> Phys_sub.replace alloc_memo sp !found);
+      !found
+
+(* --- leaf inlining plan -------------------------------------------------- *)
+
+(* Body size cap for inlining, in statements (nested included). *)
+let inline_max_stmts = 8
+
+(* Shape of an inlinable leaf: straight-line numeric/logical code
+   (Assign / IF / RETURN only), scalar dummies and locals, every
+   designator a single scalar part or an intrinsic call.  [lf_heads]
+   are the intrinsic heads, which the per-site check verifies are not
+   shadowed by the callee's module scope. *)
+type leaf_shape = { lf_heads : string list }
+
+let leaf_memo : leaf_shape option Phys_sub.t = Phys_sub.create 32
+
+let leaf_shape (sp : Ast.subprogram) : leaf_shape option =
+  match locked (fun () -> Phys_sub.find_opt leaf_memo sp) with
+  | Some r -> r
+  | None ->
+    let ok = ref true in
+    let nstmts = Ast.fold_stmts (fun n _ -> n + 1) 0 sp.Ast.sub_body in
+    if nstmts > inline_max_stmts then ok := false;
+    if List.mem sp.Ast.sub_name sp.Ast.sub_args then ok := false;
+    let locals = Hashtbl.create 8 in
+    let declared = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Ast.Var_decl { base; attrs = []; entities }
+          when base = Ast.Integer || base = Ast.Real || base = Ast.Real8
+               || base = Ast.Logical ->
+          List.iter
+            (fun (e : Ast.entity) ->
+              if
+                e.Ast.ent_dims <> None
+                || e.Ast.ent_deferred <> None
+                || e.Ast.ent_init <> None
+                || Hashtbl.mem declared e.Ast.ent_name
+              then ok := false;
+              Hashtbl.replace declared e.Ast.ent_name ();
+              if not (List.mem e.Ast.ent_name sp.Ast.sub_args) then
+                Hashtbl.replace locals e.Ast.ent_name ())
+            entities
+        | Ast.Implicit_none | Ast.Decl_comment _ -> ()
+        | _ -> ok := false)
+      sp.Ast.sub_decls;
+    let known h =
+      List.mem h sp.Ast.sub_args
+      || Hashtbl.mem locals h
+      || (sp.Ast.sub_kind <> `Subroutine && h = sp.Ast.sub_name)
+    in
+    let intr_heads = ref [] in
+    let check_expr e =
+      Ast.fold_expr
+        (fun () e ->
+          match e with
+          | Ast.Implied_do _ | Ast.Section _ -> ok := false
+          | Ast.Desig [ (h, args) ] ->
+            if known h then begin
+              if args <> [] then ok := false
+            end
+            else if Hashtbl.mem Intrinsics.tbl (String.lowercase_ascii h)
+            then intr_heads := h :: !intr_heads
+            else ok := false
+          | Ast.Desig _ -> ok := false
+          | _ -> ())
+        () e
+    in
+    Ast.fold_stmts
+      (fun () s ->
+        match s with
+        | Ast.Assign (d, e) ->
+          (match d with
+          | [ (h, []) ] when known h -> ()
+          | _ -> ok := false);
+          check_expr e
+        | Ast.If_arith (c, _) -> check_expr c
+        | Ast.If_block (branches, _) ->
+          List.iter (fun (c, _) -> check_expr c) branches
+        | Ast.Return | Ast.Continue | Ast.Comment _ -> ()
+        | _ -> ok := false)
+      () sp.Ast.sub_body;
+    let r = if !ok then Some { lf_heads = !intr_heads } else None in
+    locked (fun () -> Phys_sub.replace leaf_memo sp r);
+    r
+
+(* Inside the callee, an intrinsic head resolves only after the scope
+   chain misses; a module variable of the same name would win.  The
+   expansion emits Iintr directly, so refuse to inline when the
+   callee's module scope (if initialized) shadows any head — and when
+   the module is not initialized yet, refuse too (cannot verify). *)
+let inline_shadowed env mod_name (shape : leaf_shape) : bool =
+  match mod_name with
+  | None -> false
+  | Some m -> (
+    match env.e_module_scope m with
+    | None -> shape.lf_heads <> []
+    | Some msc ->
+      List.exists (fun h -> Storage.lookup msc h <> None) shape.lf_heads)
 
 (* --- expressions --------------------------------------------------------- *)
 
@@ -284,20 +911,28 @@ let rec compile_expr ctx (e : Ast.expr) : int =
       emit ctx (Ibinop (op, d, ra, rb));
       d
     | Ast.Desig parts -> compile_desig_load ctx parts
-    | Ast.Implied_do _ | Ast.Section _ -> bail ())
+    | Ast.Implied_do _ -> bail "implied-do"
+    | Ast.Section _ -> bail "section")
 
 and compile_subscripts ctx args =
-  if has_section args then bail ();
+  if has_section args then bail "section";
   List.map (compile_expr ctx) args
 
-and compile_elem_load ctx name path args =
+and compile_elem_load ctx elem name path args =
   let idx = compile_subscripts ctx args in
-  let aid = array_id ctx name path (List.length idx) in
+  let aid = array_id ctx elem name path (List.length idx) in
   let d = reg ctx in
   (match idx with
   | [ i ] -> emit ctx (Iload1 (d, aid, i))
   | [ i; j ] -> emit ctx (Iload2 (d, aid, i, j))
   | _ -> emit ctx (IloadN (d, aid, Array.of_list idx)));
+  d
+
+and emit_intrinsic ctx lname f args =
+  if has_section args then bail "section";
+  let argregs = List.map (compile_expr ctx) args in
+  let d = reg ctx in
+  emit ctx (Iintr (lname, f, d, Array.of_list argregs));
   d
 
 (* Walk a designator chain against the compile-time scope.  Only the
@@ -308,70 +943,270 @@ and compile_slot_load ctx (slot : Storage.slot) name path args rest : int =
   | Storage.Scalar v, [], [] ->
     if slot.Storage.is_param then begin
       (* PARAMETER values are fixed by the declarations; inline them.
-         (Any body that writes a parameter bails, keeping this sound.) *)
+         Bodies that write a parameter bail, and Vm.bind re-verifies
+         the folded value against the executing scope (checks). *)
       match v with
-      | Value.Arr _ -> bail ()
+      | Value.Arr _ -> bail "array-parameter"
       | v ->
+        note_check ctx slot name path v;
         let r = reg ctx in
         emit ctx (Iconst (r, v));
         r
     end
     else begin
-      let sid = scalar_id ctx name path in
+      let sid = scalar_id ctx slot name path in
       let r = reg ctx in
       emit ctx (Iload (r, sid));
       r
     end
-  | Storage.Array _, [], [] ->
-    let aid = array_id ctx name path 0 in
+  | Storage.Array a, [], [] ->
+    let aid = array_id ctx a.Farray.elem name path 0 in
     let r = reg ctx in
     emit ctx (Iload_arr (r, aid));
     r
-  | Storage.Array _, _ :: _, [] -> compile_elem_load ctx name path args
+  | Storage.Array a, _ :: _, [] ->
+    compile_elem_load ctx a.Farray.elem name path args
   | Storage.Struct obj, [], (fname, fargs) :: frest -> (
     match Hashtbl.find_opt obj fname with
     | Some fslot ->
       compile_slot_load ctx fslot name (path @ [ fname ]) fargs frest
-    | None -> bail ())
-  | _ -> bail ()
+    | None -> bail "component")
+  | _ -> bail "designator-shape"
 
 and compile_desig_load ctx (parts : Ast.designator) : int =
-  match parts with
-  | [] -> bail ()
-  | (name, args) :: rest -> (
-    match Storage.lookup ctx.scope name with
-    | Some slot -> compile_slot_load ctx slot name [] args rest
-    | None -> (
-      if name = "allocated" then bail ()
-      else
-        match
-          Hashtbl.find_opt Intrinsics.tbl (String.lowercase_ascii name)
-        with
-        | Some f ->
-          if rest <> [] then bail ();
-          if has_section args then bail ();
-          let argregs = List.map (compile_expr ctx) args in
-          let d = reg ctx in
-          emit ctx (Iintr (f, d, Array.of_list argregs));
-          d
-        | None -> bail () (* user function / unknown name *)))
+  match ctx.inline with
+  | Some fr -> (
+    (* inside an inlined leaf: names are dummies/locals/result (the
+       planner guarantees single scalar parts) or intrinsics resolved
+       directly, bypassing the caller's scope *)
+    match parts with
+    | [ (h, args) ] -> (
+      match Hashtbl.find_opt fr.imap h with
+      | Some (Ib_slot sid) ->
+        if args <> [] then bail "inline-shape";
+        let r = reg ctx in
+        emit ctx (Iload (r, sid));
+        r
+      | Some (Ib_reg (r, _)) ->
+        if args <> [] then bail "inline-shape";
+        r
+      | None -> (
+        match Hashtbl.find_opt Intrinsics.tbl (String.lowercase_ascii h) with
+        | Some f -> emit_intrinsic ctx (String.lowercase_ascii h) f args
+        | None -> bail "inline-shape"))
+    | _ -> bail "inline-shape")
+  | None -> (
+    match parts with
+    | [] -> bail "designator-shape"
+    | (name, args) :: rest -> (
+      match Storage.lookup ctx.scope name with
+      | Some slot -> compile_slot_load ctx slot name [] args rest
+      | None -> (
+        if name = "allocated" then bail "allocated()"
+        else
+          match
+            Hashtbl.find_opt Intrinsics.tbl (String.lowercase_ascii name)
+          with
+          | Some f ->
+            if rest <> [] then bail "designator-shape";
+            note_negative ctx name;
+            emit_intrinsic ctx (String.lowercase_ascii name) f args
+          | None -> (
+            (* user function: the tree-walker's eval_desig evaluates
+               every argument once (vals), finds the subprogram, then
+               re-evaluates them through bind_actual *)
+            match Hashtbl.find_opt ctx.env.e_subs name with
+            | Some (sp, mod_name) ->
+              if not ctx.env.e_calls then bail "call";
+              if has_section args then bail "section";
+              note_negative ctx name;
+              List.iter (fun a -> ignore (compile_expr ctx a)) args;
+              if rest <> [] then bail "fn-parts";
+              compile_user_call ctx sp mod_name name args ~is_fn:true
+            | None -> bail "unknown-name"))))
+
+(* --- compiled calls ------------------------------------------------------ *)
+
+(* Compile a call to [sp] (statement CALL when [is_fn] is false,
+   function reference otherwise).  Returns the result register (0,
+   unused, for subroutine statements).  Inline when the callee is a
+   leaf and every actual is a whole scalar variable; otherwise marshal
+   an Icall.  Anything the marshalling cannot express bails — the
+   tree-walker then replays the whole body from scratch, so partial
+   effects never leak. *)
+and compile_user_call ctx sp mod_name name actuals ~is_fn : int =
+  if List.length actuals <> List.length sp.Ast.sub_args then bail "call-arity";
+  if is_fn && sp.Ast.sub_kind = `Subroutine then bail "sub-as-fn";
+  match compile_inline_call ctx sp mod_name actuals with
+  | Some r -> if is_fn then r else 0
+  | None -> compile_marshalled_call ctx sp mod_name name actuals ~is_fn
+
+and compile_marshalled_call ctx sp mod_name name actuals ~is_fn : int =
+  if ctx.inline <> None then bail "inline-shape";
+  if may_alloc ctx.env [] sp then bail "call-allocates";
+  let written = written_dummies sp in
+  let specs =
+    List.map2
+      (fun dummy a ->
+        match a with
+        | Ast.Desig [ (n, []) ] -> (
+          match Storage.lookup ctx.scope n with
+          | Some slot ->
+            if slot.Storage.is_param && Hashtbl.mem written dummy then
+              (* the callee may write through the alias; our folded
+                 PARAMETER constants would go stale *)
+              bail "writes-parameter-arg"
+            else Arg_alias (raw_id ctx n)
+          | None -> bail "implicit-arg")
+        | Ast.Desig ((n, args) :: rest) -> (
+          match Storage.lookup ctx.scope n with
+          | Some { Storage.entry = Storage.Array arr; _ }
+            when rest = [] && args <> [] && not (has_section args) ->
+            (* copy-in/copy-out array element: the tree-walker first
+               resolves the lvalue (evaluating and to_int-ing each
+               subscript), then re-evaluates the designator for the
+               value (bounds-checked) *)
+            let idx =
+              List.map
+                (fun e ->
+                  let r = compile_expr ctx e in
+                  emit ctx (Ito_int (r, r));
+                  r)
+                args
+            in
+            let aid =
+              array_id ctx arr.Farray.elem n [] (List.length args)
+            in
+            let av = compile_elem_load ctx arr.Farray.elem n [] args in
+            Arg_elem { ae_arr = aid; ae_idx = Array.of_list idx; ae_val = av }
+          | Some _ -> bail "arg-shape"
+          | None ->
+            (* head not in scope: bind_actual's resolve_lvalue fails
+               and it falls back to a plain evaluated copy (which may
+               itself be a function call) *)
+            Arg_value (compile_expr ctx a))
+        | a -> Arg_value (compile_expr ctx a))
+      sp.Ast.sub_args actuals
+  in
+  let dst = if is_fn then reg ctx else -1 in
+  emit ctx
+    (Icall
+       {
+         cs_sub = sp;
+         cs_mod = mod_name;
+         cs_name = name;
+         cs_args = Array.of_list specs;
+         cs_dst = dst;
+       });
+  if is_fn then dst else 0
+
+(* Expand a leaf callee into the caller's instruction stream.  Every
+   actual must be a whole scalar variable, so dummies alias caller
+   slots (same scalar-id space — two dummies aliasing one variable
+   share an id, like two aliases of one slot) and locals/result live
+   in plain registers.  Declaration processing follows setup_scope's
+   order, including the dummy-redeclaration quirk (Idummy_adjust).
+   Returns None when the call site does not qualify; the marshalled
+   path then takes over. *)
+and compile_inline_call ctx sp mod_name actuals : int option =
+  if ctx.inline <> None then None (* leaves contain no calls *)
+  else
+    match leaf_shape sp with
+    | None -> None
+    | Some shape ->
+      if inline_shadowed ctx.env mod_name shape then None
+      else begin
+        (* site check: every actual a whole scalar variable in scope *)
+        let slots =
+          List.map
+            (fun a ->
+              match a with
+              | Ast.Desig [ (n, []) ] -> (
+                match Storage.lookup ctx.scope n with
+                | Some ({ Storage.entry = Storage.Scalar _; _ } as slot) ->
+                  Some (n, slot)
+                | _ -> None)
+              | _ -> None)
+            actuals
+        in
+        if List.exists (fun s -> s = None) slots then None
+        else begin
+          let written = written_dummies sp in
+          let frame = { imap = Hashtbl.create 8; iret = [] } in
+          List.iter2
+            (fun dummy s ->
+              match s with
+              | Some (n, slot) ->
+                if slot.Storage.is_param && Hashtbl.mem written dummy then
+                  bail "writes-parameter-arg";
+                Hashtbl.replace frame.imap dummy
+                  (Ib_slot (scalar_id ctx slot n []))
+              | None -> assert false)
+            sp.Ast.sub_args slots;
+          (* declarations, in setup_scope order *)
+          List.iter
+            (function
+              | Ast.Var_decl { base; entities; _ } ->
+                List.iter
+                  (fun (e : Ast.entity) ->
+                    let n = e.Ast.ent_name in
+                    match Hashtbl.find_opt frame.imap n with
+                    | Some (Ib_slot sid) ->
+                      (* dummy redeclaration: REAL over an aliased Int
+                         rewrites the slot in place *)
+                      if base = Ast.Real || base = Ast.Real8 then
+                        emit ctx (Idummy_adjust sid)
+                    | Some (Ib_reg _) -> bail "inline-shape"
+                    | None ->
+                      let r = reg ctx in
+                      emit ctx (Iconst (r, Value.zero_of base));
+                      Hashtbl.replace frame.imap n (Ib_reg (r, base)))
+                  entities
+              | _ -> ())
+            sp.Ast.sub_decls;
+          (* function result register (setup_scope creates the slot
+             zero-initialized when not declared) *)
+          let res =
+            match sp.Ast.sub_kind with
+            | `Function rt -> (
+              match Hashtbl.find_opt frame.imap sp.Ast.sub_name with
+              | Some (Ib_reg (r, _)) -> r
+              | Some (Ib_slot _) -> bail "inline-shape"
+              | None ->
+                let base = Option.value rt ~default:Ast.Real8 in
+                let r = reg ctx in
+                emit ctx (Iconst (r, Value.zero_of base));
+                Hashtbl.replace frame.imap sp.Ast.sub_name (Ib_reg (r, base));
+                r)
+            | `Subroutine -> 0
+          in
+          ctx.inline <- Some frame;
+          (match List.iter (compile_stmt ctx) sp.Ast.sub_body with
+          | () -> ctx.inline <- None
+          | exception e ->
+            ctx.inline <- None;
+            raise e);
+          List.iter (fun at -> patch ctx at (here ctx)) frame.iret;
+          Some res
+        end
+      end
 
 (* --- lvalues ------------------------------------------------------------- *)
 
 (* RHS register [rv] is already evaluated (the tree-walker evaluates
    the RHS before resolving the lvalue's subscripts). *)
-let rec compile_slot_store ctx (slot : Storage.slot) name path args rest rv =
+and compile_slot_store ctx (slot : Storage.slot) name path args rest rv =
   match (slot.Storage.entry, args, rest) with
   | Storage.Scalar _, [], [] ->
-    if slot.Storage.is_param then bail ();
-    let sid = scalar_id ctx name path in
+    if slot.Storage.is_param then bail "parameter-store";
+    let sid = scalar_id ctx slot name path in
     emit ctx (Istore (sid, rv))
-  | Storage.Array _, [], [] ->
-    let aid = array_id ctx name path 0 in
+  | Storage.Array a, [], [] ->
+    let aid = array_id ctx a.Farray.elem name path 0 in
     emit ctx (Istore_whole (aid, rv))
-  | Storage.Array _, _ :: _, [] -> (
+  | Storage.Array a, _ :: _, [] -> (
     let idx = compile_subscripts ctx args in
-    let aid = array_id ctx name path (List.length idx) in
+    let aid = array_id ctx a.Farray.elem name path (List.length idx) in
     match idx with
     | [ i ] -> emit ctx (Istore1 (aid, i, rv))
     | [ i; j ] -> emit ctx (Istore2 (aid, i, j, rv))
@@ -380,28 +1215,39 @@ let rec compile_slot_store ctx (slot : Storage.slot) name path args rest rv =
     match Hashtbl.find_opt obj fname with
     | Some fslot ->
       compile_slot_store ctx fslot name (path @ [ fname ]) fargs frest rv
-    | None -> bail ())
-  | _ -> bail ()
+    | None -> bail "component")
+  | _ -> bail "designator-shape"
 
-let compile_desig_store ctx (parts : Ast.designator) rv =
-  match parts with
-  | [] -> bail ()
-  | (name, args) :: rest -> (
-    match Storage.lookup ctx.scope name with
-    | Some slot -> compile_slot_store ctx slot name [] args rest rv
-    | None -> bail () (* implicit declaration on assignment: tree-walk *))
+and compile_desig_store ctx (parts : Ast.designator) rv =
+  match ctx.inline with
+  | Some fr -> (
+    match parts with
+    | [ (h, []) ] -> (
+      match Hashtbl.find_opt fr.imap h with
+      | Some (Ib_slot sid) -> emit ctx (Istore (sid, rv))
+      | Some (Ib_reg (r, base)) -> emit ctx (Icoerce (base, r, rv))
+      | None -> bail "inline-shape")
+    | _ -> bail "inline-shape")
+  | None -> (
+    match parts with
+    | [] -> bail "designator-shape"
+    | (name, args) :: rest -> (
+      match Storage.lookup ctx.scope name with
+      | Some slot -> compile_slot_store ctx slot name [] args rest rv
+      | None -> bail "implicit-decl"
+      (* implicit declaration on assignment: tree-walk *)))
 
 (* --- statements ---------------------------------------------------------- *)
 
 (* Release the CRITICAL locks held above [target_depth] (EXIT/CYCLE
    jumping out of a critical section must unlock on the way, like the
    tree-walker's Fun.protect unwinding does). *)
-let emit_unlocks ctx target_depth =
+and emit_unlocks ctx target_depth =
   for _ = target_depth + 1 to ctx.crit do
     emit ctx Icrit_exit
   done
 
-let rec compile_stmt ctx (s : Ast.stmt) =
+and compile_stmt ctx (s : Ast.stmt) =
   match s with
   | Ast.Assign (d, e) ->
     let rv = compile_expr ctx e in
@@ -424,7 +1270,7 @@ let rec compile_stmt ctx (s : Ast.stmt) =
     List.iter (compile_stmt ctx) else_;
     List.iter (fun at -> patch ctx at (here ctx)) !jends
   | Ast.Do l ->
-    if l.Ast.do_omp <> None then bail ();
+    if l.Ast.do_omp <> None then bail "nested-parallel-do";
     compile_serial_do ctx l
   | Ast.Do_while (c, body) ->
     let head = here ctx in
@@ -451,9 +1297,15 @@ let rec compile_stmt ctx (s : Ast.stmt) =
       emit_unlocks ctx lctx.crit_at_entry;
       lctx.exit_patches <- emit_patchable ctx (Ijmp 0) :: lctx.exit_patches
     | [] ->
-      (* EXIT from the loop the VM itself is driving *)
-      emit_unlocks ctx 0;
-      emit ctx Iexit)
+      if ctx.in_sub then
+        (* a bare EXIT in a subprogram body raises Loop_exit into the
+           caller's loop: let the tree-walker own that behaviour *)
+        bail "exit-outside-loop"
+      else begin
+        (* EXIT from the loop the VM itself is driving *)
+        emit_unlocks ctx 0;
+        emit ctx Iexit
+      end)
   | Ast.Cycle -> (
     match ctx.loops with
     | lctx :: _ -> (
@@ -463,37 +1315,53 @@ let rec compile_stmt ctx (s : Ast.stmt) =
       | None ->
         lctx.cont_patches <- emit_patchable ctx (Ijmp 0) :: lctx.cont_patches)
     | [] ->
-      emit_unlocks ctx 0;
-      ctx.end_patches <- emit_patchable ctx (Ijmp 0) :: ctx.end_patches)
-  | Ast.Return -> emit ctx Ireturn
+      if ctx.in_sub then bail "cycle-outside-loop"
+      else begin
+        emit_unlocks ctx 0;
+        ctx.end_patches <- emit_patchable ctx (Ijmp 0) :: ctx.end_patches
+      end)
+  | Ast.Return -> (
+    match ctx.inline with
+    | Some fr -> fr.iret <- emit_patchable ctx (Ijmp 0) :: fr.iret
+    | None -> emit ctx Ireturn)
   | Ast.Stop msg -> emit ctx (Istop msg)
   | Ast.Continue | Ast.Comment _ | Ast.Omp_barrier -> ()
   | Ast.Print args ->
     let regs = List.map (compile_expr ctx) args in
     emit ctx (Iprint (Array.of_list regs))
   | Ast.Omp_atomic s ->
-    if ctx.crit > 0 then bail ();
+    if ctx.crit > 0 then bail "nested-critical";
     emit ctx Icrit_enter;
     ctx.crit <- ctx.crit + 1;
     compile_stmt ctx s;
     ctx.crit <- ctx.crit - 1;
     emit ctx Icrit_exit
   | Ast.Omp_critical body ->
-    if ctx.crit > 0 then bail ();
+    if ctx.crit > 0 then bail "nested-critical";
     emit ctx Icrit_enter;
     ctx.crit <- ctx.crit + 1;
     List.iter (compile_stmt ctx) body;
     ctx.crit <- ctx.crit - 1;
     emit ctx Icrit_exit
-  | Ast.Call _ | Ast.Allocate _ | Ast.Deallocate _ -> bail ()
+  | Ast.Call (name, actuals) -> (
+    if not ctx.env.e_calls then bail "call";
+    match Hashtbl.find_opt ctx.env.e_subs (String.lowercase_ascii name) with
+    | None -> bail "unknown-call"
+    | Some (sp, mod_name) ->
+      ignore (compile_user_call ctx sp mod_name name actuals ~is_fn:false))
+  | Ast.Allocate _ -> bail "allocate"
+  | Ast.Deallocate _ -> bail "deallocate"
 
 and compile_serial_do ctx (l : Ast.do_loop) =
   let sid =
-    match Storage.lookup ctx.scope l.Ast.do_var with
-    | Some slot ->
-      if slot.Storage.is_param then bail ();
-      scalar_id ctx l.Ast.do_var []
-    | None -> bail () (* implicit DO-variable declaration: tree-walk *)
+    match ctx.inline with
+    | Some _ -> bail "inline-shape" (* leaves contain no DO loops *)
+    | None -> (
+      match Storage.lookup ctx.scope l.Ast.do_var with
+      | Some slot ->
+        if slot.Storage.is_param then bail "parameter-store";
+        scalar_id ctx slot l.Ast.do_var []
+      | None -> bail "implicit-decl" (* implicit DO-variable declaration *))
   in
   (* Bounds evaluate once, in the tree-walker's order (lo, hi, step),
      then the zero-step check fires before any iteration. *)
@@ -545,69 +1413,686 @@ and compile_serial_do ctx (l : Ast.do_loop) =
      the bytecode path) *)
   List.iter (fun at -> patch ctx at (here ctx)) lctx.exit_patches
 
+(* --- typed specialization ------------------------------------------------ *)
+
+(* Re-emit a boxed program over unboxed float/int register banks when
+   every register's value kind is statically known.  The mapping is a
+   single forward pass: this emitter defines registers before use on
+   every path (including the short-circuit And/Or diamonds, whose two
+   definitions of the result register are both Bool), so each boxed
+   register gets exactly one type or the whole program is rejected.
+   Rejection is free: the boxed program still runs, so the typed layer
+   can afford to be picky — anything whose boxed semantics depends on
+   a runtime value kind (integer **, huge(), Value polymorphism over
+   Str/Arr, calls, prints) is rejected rather than approximated.
+
+   Soundness (DESIGN.md §16): every typed opcode performs the same
+   primitive float/int operation the boxed opcode's fast path (or the
+   Value function it calls) performs, in the same order.  The
+   subtleties are the comparison and min/max orders: Value.compare_values
+   and variadic_minmax go through OCaml's polymorphic compare on
+   floats, which is Float.compare's total order (NaN below everything,
+   NaN = NaN) — NOT native float (<), so typed comparisons use
+   Float.compare too.  Int min/max comparisons go through float_of_int
+   first, exactly like variadic_minmax's to_float. *)
+
+exception Treject
+
+type tvec = { mutable titems : tinstr array; mutable tlen : int }
+
+let tvec_push v x =
+  if v.tlen = Array.length v.titems then begin
+    let bigger = Array.make (max 64 (2 * v.tlen)) Tpoll in
+    Array.blit v.titems 0 bigger 0 v.tlen;
+    v.titems <- bigger
+  end;
+  v.titems.(v.tlen) <- x;
+  v.tlen <- v.tlen + 1
+
+let nint_of x = int_of_float (Float.round x)
+let floor_of x = int_of_float (Float.floor x)
+let ceil_of x = int_of_float (Float.ceil x)
+let fmod x y = Float.rem x y
+
+let specialize (p : program) : tprogram option =
+  let nsc = Array.length p.scalars in
+  let sty = Array.make nsc TI in
+  let sty_ok = Array.make nsc false in
+  Array.iteri
+    (fun i (r : scalar_ref) ->
+      match r.sbase with
+      | Ast.Integer ->
+        sty.(i) <- TI;
+        sty_ok.(i) <- true
+      | Ast.Real | Ast.Real8 ->
+        sty.(i) <- TF;
+        sty_ok.(i) <- true
+      | Ast.Logical ->
+        sty.(i) <- TB;
+        sty_ok.(i) <- true
+      | _ -> ())
+    p.scalars;
+  let n = Array.length p.code in
+  let out = { titems = Array.make (max 64 (2 * n)) Tpoll; tlen = 0 } in
+  let map = Array.make (n + 1) 0 in
+  let rty : ty option array = Array.make (max 1 p.nregs) None in
+  let bank = Array.make (max 1 p.nregs) 0 in
+  let nf = ref 0 and ni = ref 0 in
+  let fresh_f () =
+    let i = !nf in
+    incr nf;
+    i
+  in
+  let fresh_i () =
+    let i = !ni in
+    incr ni;
+    i
+  in
+  let def r t =
+    match rty.(r) with
+    | None ->
+      rty.(r) <- Some t;
+      bank.(r) <- (match t with TF -> fresh_f () | TI | TB -> fresh_i ())
+    | Some t' -> if t <> t' then raise Treject
+  in
+  let ty_of r = match rty.(r) with Some t -> t | None -> raise Treject in
+  (* operand access with on-the-fly conversion into a fresh temp; the
+     conversions are total (float_of_int / int_of_float never raise),
+     exactly like to_float / to_int on numeric Values *)
+  let as_f r =
+    match ty_of r with
+    | TF -> bank.(r)
+    | TI ->
+      let t = fresh_f () in
+      tvec_push out (Ti2f (t, bank.(r)));
+      t
+    | TB -> raise Treject
+  in
+  let as_i_trunc r =
+    match ty_of r with
+    | TI -> bank.(r)
+    | TF ->
+      let t = fresh_i () in
+      tvec_push out (Tf2i (t, bank.(r)));
+      t
+    | TB -> raise Treject
+  in
+  let as_cond r =
+    match ty_of r with TI | TB -> bank.(r) | TF -> raise Treject
+  in
+  (* to_bool-normalized 0/1 operand, for Eqv/Neqv *)
+  let as_bool r =
+    match ty_of r with
+    | TB -> bank.(r)
+    | TI ->
+      let t = fresh_i () in
+      tvec_push out (Tbool (t, bank.(r)));
+      t
+    | TF -> raise Treject
+  in
+  let scalar i =
+    if not sty_ok.(i) then raise Treject;
+    sty.(i)
+  in
+  let cmp_of = function
+    | Ast.Lt -> Clt
+    | Ast.Le -> Cle
+    | Ast.Gt -> Cgt
+    | Ast.Ge -> Cge
+    | Ast.Eq -> Ceq
+    | Ast.Ne -> Cne
+    | _ -> raise Treject
+  in
+  try
+    (* slots written raw (DO variables) hold Ints mid-loop regardless
+       of their declared base; only Integer-based ones stay typable *)
+    Array.iter
+      (function
+        | Istore_raw (sid, _) | Iloop_fini { sid; _ } ->
+          if scalar sid <> TI then raise Treject
+        | _ -> ())
+      p.code;
+    for i = 0 to n - 1 do
+      map.(i) <- out.tlen;
+      (match p.code.(i) with
+      | Iconst (d, Value.Int x) ->
+        def d TI;
+        tvec_push out (TconstI (bank.(d), x))
+      | Iconst (d, Value.Real x) ->
+        def d TF;
+        tvec_push out (TconstF (bank.(d), x))
+      | Iconst (d, Value.Bool b) ->
+        def d TB;
+        tvec_push out (TconstI (bank.(d), if b then 1 else 0))
+      | Iconst (_, (Value.Str _ | Value.Arr _)) -> raise Treject
+      | Icopy (d, s) -> (
+        match ty_of s with
+        | TF ->
+          def d TF;
+          tvec_push out (TmovF (bank.(d), bank.(s)))
+        | TI ->
+          def d TI;
+          tvec_push out (TmovI (bank.(d), bank.(s)))
+        | TB ->
+          def d TB;
+          tvec_push out (TmovI (bank.(d), bank.(s))))
+      | Iload (d, sid) -> (
+        match scalar sid with
+        | TF ->
+          def d TF;
+          tvec_push out (TldsF (bank.(d), sid))
+        | TI ->
+          def d TI;
+          tvec_push out (TldsI (bank.(d), sid))
+        | TB ->
+          def d TB;
+          tvec_push out (TldsB (bank.(d), sid)))
+      | Istore (sid, r) -> (
+        match (scalar sid, ty_of r) with
+        | TF, TF -> tvec_push out (TstsF (sid, bank.(r)))
+        | TF, TI -> tvec_push out (TstsF_ofI (sid, bank.(r)))
+        | TI, TI -> tvec_push out (TstsI (sid, bank.(r)))
+        | TI, TF -> tvec_push out (TstsI_ofF (sid, bank.(r)))
+        | TB, TB -> tvec_push out (TstsB (sid, bank.(r)))
+        | _ -> raise Treject)
+      | Istore_raw (sid, r) ->
+        if ty_of r <> TI then raise Treject;
+        tvec_push out (TstsI_raw (sid, bank.(r)))
+      | Icoerce (base, d, s) -> (
+        match (base, ty_of s) with
+        | Ast.Integer, TI ->
+          def d TI;
+          tvec_push out (TmovI (bank.(d), bank.(s)))
+        | Ast.Integer, TF ->
+          def d TI;
+          tvec_push out (Tf2i (bank.(d), bank.(s)))
+        | (Ast.Real | Ast.Real8), TF ->
+          def d TF;
+          tvec_push out (TmovF (bank.(d), bank.(s)))
+        | (Ast.Real | Ast.Real8), TI ->
+          def d TF;
+          tvec_push out (Ti2f (bank.(d), bank.(s)))
+        | Ast.Logical, TB ->
+          def d TB;
+          tvec_push out (TmovI (bank.(d), bank.(s)))
+        | _ -> raise Treject)
+      | Iload_arr _ | Istore_whole _ | IloadN _ | IstoreN _ -> raise Treject
+      | Iload1 (d, a, ir) -> (
+        match p.arrays.(a).aelem with
+        | Farray.Efloat ->
+          let iv = as_i_trunc ir in
+          def d TF;
+          tvec_push out (Tld1F (bank.(d), a, iv))
+        | Farray.Eint ->
+          let iv = as_i_trunc ir in
+          def d TI;
+          tvec_push out (Tld1I (bank.(d), a, iv))
+        | _ -> raise Treject)
+      | Iload2 (d, a, ir, jr) -> (
+        match p.arrays.(a).aelem with
+        | Farray.Efloat ->
+          let iv = as_i_trunc ir in
+          let jv = as_i_trunc jr in
+          def d TF;
+          tvec_push out (Tld2F (bank.(d), a, iv, jv))
+        | Farray.Eint ->
+          let iv = as_i_trunc ir in
+          let jv = as_i_trunc jr in
+          def d TI;
+          tvec_push out (Tld2I (bank.(d), a, iv, jv))
+        | _ -> raise Treject)
+      | Istore1 (a, ir, r) -> (
+        match p.arrays.(a).aelem with
+        | Farray.Efloat ->
+          (* set_linear coerces Ci -> float_of_int, same as Ti2f *)
+          let iv = as_i_trunc ir in
+          let rv = as_f r in
+          tvec_push out (Tst1F (a, iv, rv))
+        | Farray.Eint ->
+          let iv = as_i_trunc ir in
+          let rv = as_i_trunc r in
+          tvec_push out (Tst1I (a, iv, rv))
+        | _ -> raise Treject)
+      | Istore2 (a, ir, jr, r) -> (
+        match p.arrays.(a).aelem with
+        | Farray.Efloat ->
+          let iv = as_i_trunc ir in
+          let jv = as_i_trunc jr in
+          let rv = as_f r in
+          tvec_push out (Tst2F (a, iv, jv, rv))
+        | Farray.Eint ->
+          let iv = as_i_trunc ir in
+          let jv = as_i_trunc jr in
+          let rv = as_i_trunc r in
+          tvec_push out (Tst2I (a, iv, jv, rv))
+        | _ -> raise Treject)
+      | Ibinop (op, d, a, b) -> (
+        let ta = ty_of a and tb = ty_of b in
+        match op with
+        | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> (
+          match (ta, tb) with
+          | TI, TI ->
+            def d TI;
+            tvec_push out
+              ((match op with
+               | Ast.Add -> TaddI (bank.(d), bank.(a), bank.(b))
+               | Ast.Sub -> TsubI (bank.(d), bank.(a), bank.(b))
+               | Ast.Mul -> TmulI (bank.(d), bank.(a), bank.(b))
+               | _ -> TdivI (bank.(d), bank.(a), bank.(b))))
+          | (TF | TI), (TF | TI) ->
+            let av = as_f a in
+            let bv = as_f b in
+            def d TF;
+            tvec_push out
+              ((match op with
+               | Ast.Add -> TaddF (bank.(d), av, bv)
+               | Ast.Sub -> TsubF (bank.(d), av, bv)
+               | Ast.Mul -> TmulF (bank.(d), av, bv)
+               | _ -> TdivF (bank.(d), av, bv)))
+          | _ -> raise Treject)
+        | Ast.Pow -> (
+          match (ta, tb) with
+          | TI, TI -> raise Treject (* integer ** is an int loop *)
+          | (TF | TI), (TF | TI) ->
+            let av = as_f a in
+            let bv = as_f b in
+            def d TF;
+            tvec_push out (TpowF (bank.(d), av, bv))
+          | _ -> raise Treject)
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> (
+          match (ta, tb) with
+          | TI, TI ->
+            def d TB;
+            tvec_push out (TcmpI (cmp_of op, bank.(d), bank.(a), bank.(b)))
+          | (TF | TI), (TF | TI) ->
+            (* mixed numerics compare through to_float, like
+               compare_values *)
+            let av = as_f a in
+            let bv = as_f b in
+            def d TB;
+            tvec_push out (TcmpF (cmp_of op, bank.(d), av, bv))
+          | TB, TB when op = Ast.Eq || op = Ast.Ne ->
+            def d TB;
+            tvec_push out (TcmpI (cmp_of op, bank.(d), bank.(a), bank.(b)))
+          | _ -> raise Treject)
+        | Ast.Eqv | Ast.Neqv ->
+          let av = as_bool a in
+          let bv = as_bool b in
+          def d TB;
+          tvec_push out
+            (TcmpI
+               ((if op = Ast.Eqv then Ceq else Cne), bank.(d), av, bv))
+        | Ast.Concat | Ast.And | Ast.Or -> raise Treject)
+      | Ineg (d, s) -> (
+        match ty_of s with
+        | TF ->
+          def d TF;
+          tvec_push out (TnegF (bank.(d), bank.(s)))
+        | TI ->
+          def d TI;
+          tvec_push out (TnegI (bank.(d), bank.(s)))
+        | TB -> raise Treject)
+      | Inot (d, s) ->
+        let sv = as_cond s in
+        def d TB;
+        tvec_push out (Tnot (bank.(d), sv))
+      | Ibool (d, s) ->
+        let sv = as_cond s in
+        def d TB;
+        tvec_push out (Tbool (bank.(d), sv))
+      | Ito_int (d, s) ->
+        if d = s then begin
+          (* in-place narrowing can't retype a register; Int -> Int is
+             the identity and needs no code *)
+          match ty_of s with TI -> () | _ -> raise Treject
+        end
+        else begin
+          match ty_of s with
+          | TI ->
+            def d TI;
+            tvec_push out (TmovI (bank.(d), bank.(s)))
+          | TF ->
+            def d TI;
+            tvec_push out (Tf2i (bank.(d), bank.(s)))
+          | TB -> raise Treject
+        end
+      | Icheck_step r ->
+        if ty_of r <> TI then raise Treject;
+        tvec_push out (Tcheck_step bank.(r))
+      | Iintr (name, _, d, args) -> (
+        let arg1 () =
+          match args with [| a |] -> a | _ -> raise Treject
+        in
+        let arg2 () =
+          match args with [| a; b |] -> (a, b) | _ -> raise Treject
+        in
+        let un1 f =
+          let av = as_f (arg1 ()) in
+          def d TF;
+          tvec_push out (Tin1F (name, f, bank.(d), av))
+        in
+        match name with
+        | "sqrt" | "dsqrt" -> un1 sqrt
+        | "exp" | "dexp" -> un1 exp
+        | "log" | "alog" | "dlog" -> un1 log
+        | "log10" | "alog10" -> un1 log10
+        | "sin" -> un1 sin
+        | "cos" -> un1 cos
+        | "tan" -> un1 tan
+        | "asin" -> un1 asin
+        | "acos" -> un1 acos
+        | "atan" -> un1 atan
+        | "sinh" -> un1 sinh
+        | "cosh" -> un1 cosh
+        | "tanh" -> un1 tanh
+        | "dabs" -> un1 Float.abs
+        | "atan2" ->
+          let x, y = arg2 () in
+          let av = as_f x in
+          let bv = as_f y in
+          def d TF;
+          tvec_push out (Tin2F (name, atan2, bank.(d), av, bv))
+        | "sign" | "dsign" ->
+          let x, y = arg2 () in
+          let av = as_f x in
+          let bv = as_f y in
+          def d TF;
+          tvec_push out (Tin2F (name, Intrinsics.sign_val, bank.(d), av, bv))
+        | "abs" -> (
+          match ty_of (arg1 ()) with
+          | TI ->
+            def d TI;
+            tvec_push out (TabsI (bank.(d), bank.(arg1 ())))
+          | TF ->
+            def d TF;
+            tvec_push out (TabsF (bank.(d), bank.(arg1 ())))
+          | TB -> raise Treject)
+        | "iabs" ->
+          let av = as_i_trunc (arg1 ()) in
+          def d TI;
+          tvec_push out (TabsI (bank.(d), av))
+        | "mod" -> (
+          let x, y = arg2 () in
+          match (ty_of x, ty_of y) with
+          | TI, TI ->
+            def d TI;
+            tvec_push out (TmodI (bank.(d), bank.(x), bank.(y)))
+          | (TF | TI), (TF | TI) ->
+            let av = as_f x in
+            let bv = as_f y in
+            def d TF;
+            tvec_push out (Tin2F (name, fmod, bank.(d), av, bv))
+          | _ -> raise Treject)
+        | "int" | "ifix" -> (
+          match ty_of (arg1 ()) with
+          | TI ->
+            def d TI;
+            tvec_push out (TmovI (bank.(d), bank.(arg1 ())))
+          | TF ->
+            def d TI;
+            tvec_push out (Tf2i (bank.(d), bank.(arg1 ())))
+          | TB -> raise Treject)
+        | "nint" ->
+          let av = as_f (arg1 ()) in
+          def d TI;
+          tvec_push out (TfniF (name, nint_of, bank.(d), av))
+        | "floor" ->
+          let av = as_f (arg1 ()) in
+          def d TI;
+          tvec_push out (TfniF (name, floor_of, bank.(d), av))
+        | "ceiling" ->
+          let av = as_f (arg1 ()) in
+          def d TI;
+          tvec_push out (TfniF (name, ceil_of, bank.(d), av))
+        | "real" | "float" | "dble" | "sngl" -> (
+          match ty_of (arg1 ()) with
+          | TF ->
+            def d TF;
+            tvec_push out (TmovF (bank.(d), bank.(arg1 ())))
+          | TI ->
+            def d TF;
+            tvec_push out (Ti2f (bank.(d), bank.(arg1 ())))
+          | TB -> raise Treject)
+        | "max" | "amax1" | "dmax1" | "max0" -> (
+          let x, y = arg2 () in
+          match (ty_of x, ty_of y) with
+          | TI, TI ->
+            def d TI;
+            tvec_push out (TmaxI (bank.(d), bank.(x), bank.(y)))
+          | (TF | TI), (TF | TI) ->
+            (* all_int is false, so the boxed result is
+               Real (to_float best): converting both first and picking
+               in float is the same value *)
+            let av = as_f x in
+            let bv = as_f y in
+            def d TF;
+            tvec_push out (TmaxF (bank.(d), av, bv))
+          | _ -> raise Treject)
+        | "min" | "amin1" | "dmin1" | "min0" -> (
+          let x, y = arg2 () in
+          match (ty_of x, ty_of y) with
+          | TI, TI ->
+            def d TI;
+            tvec_push out (TminI (bank.(d), bank.(x), bank.(y)))
+          | (TF | TI), (TF | TI) ->
+            let av = as_f x in
+            let bv = as_f y in
+            def d TF;
+            tvec_push out (TminF (bank.(d), av, bv))
+          | _ -> raise Treject)
+        | "huge" -> (
+          match ty_of (arg1 ()) with
+          | TI ->
+            def d TI;
+            tvec_push out (TconstI (bank.(d), max_int))
+          | TF ->
+            def d TF;
+            tvec_push out (TconstF (bank.(d), Float.max_float))
+          | TB -> raise Treject)
+        | "tiny" ->
+          if ty_of (arg1 ()) <> TF then raise Treject;
+          def d TF;
+          tvec_push out (TconstF (bank.(d), Float.min_float))
+        | "epsilon" ->
+          if ty_of (arg1 ()) <> TF then raise Treject;
+          def d TF;
+          tvec_push out (TconstF (bank.(d), epsilon_float))
+        | _ -> raise Treject)
+      | Icall _ | Iprint _ | Istop _ | Idummy_adjust _ -> (
+        match p.code.(i) with
+        | Idummy_adjust sid -> (
+          (* the quirk only rewrites an Int value; a slot the typed
+             bind verified as Real or Bool is untouched by it, and
+             typed stores keep it that way: nothing to emit.  An
+             Integer-based dummy would be rewritten to Real -> the
+             program is not typable. *)
+          match scalar sid with TF | TB -> () | TI -> raise Treject)
+        | _ -> raise Treject)
+      | Ijmp t -> tvec_push out (Tjmp t)
+      | Ijf (r, t) -> tvec_push out (Tjf (as_cond r, t))
+      | Ijt (r, t) -> tvec_push out (Tjt (as_cond r, t))
+      | Iloop_test { ireg; hireg; stepreg; target } ->
+        if ty_of ireg <> TI || ty_of hireg <> TI || ty_of stepreg <> TI then
+          raise Treject;
+        tvec_push out
+          (Tloop_test
+             {
+               t_ireg = bank.(ireg);
+               t_hireg = bank.(hireg);
+               t_stepreg = bank.(stepreg);
+               t_target = target;
+             })
+      | Iinc (ir, sr) ->
+        if ty_of ir <> TI || ty_of sr <> TI then raise Treject;
+        tvec_push out (Tinc (bank.(ir), bank.(sr)))
+      | Iloop_fini { sid; loreg; hireg; stepreg } ->
+        if ty_of loreg <> TI || ty_of hireg <> TI || ty_of stepreg <> TI then
+          raise Treject;
+        tvec_push out
+          (Tloop_fini
+             {
+               t_sid = sid;
+               t_loreg = bank.(loreg);
+               t_hireg = bank.(hireg);
+               t_stepreg = bank.(stepreg);
+             })
+      | Ipoll -> tvec_push out Tpoll
+      | Icrit_enter -> tvec_push out Tcrit_enter
+      | Icrit_exit -> tvec_push out Tcrit_exit
+      | Ireturn -> tvec_push out Treturn
+      | Iexit -> tvec_push out Texit)
+    done;
+    map.(n) <- out.tlen;
+    (* every scalar slot is referenced by some surviving instruction,
+       so untypable bases were already rejected; keep the assertion
+       cheap anyway *)
+    Array.iteri (fun i ok -> if not ok then ignore (scalar i)) sty_ok;
+    (* retarget jumps from boxed pcs to typed pcs *)
+    let tcode = Array.sub out.titems 0 out.tlen in
+    Array.iteri
+      (fun i ti ->
+        match ti with
+        | Tjmp t -> tcode.(i) <- Tjmp map.(t)
+        | Tjf (r, t) -> tcode.(i) <- Tjf (r, map.(t))
+        | Tjt (r, t) -> tcode.(i) <- Tjt (r, map.(t))
+        | Tloop_test lt ->
+          tcode.(i) <- Tloop_test { lt with t_target = map.(lt.t_target) }
+        | _ -> ())
+      tcode;
+    Some { tcode; t_nf = max 1 !nf; t_ni = max 1 !ni; t_sty = sty }
+  with Treject -> None
+
 (* --- entry points -------------------------------------------------------- *)
 
-let compile ~(scope : Storage.scope) (body : Ast.stmt list) : program option =
-  let ctx =
+let make_ctx env scope ~in_sub =
+  {
+    env;
+    scope;
+    in_sub;
+    code = vec_create ();
+    nregs = 0;
+    scalar_ids = Hashtbl.create 16;
+    scalar_refs = [];
+    array_ids = Hashtbl.create 16;
+    array_refs = [];
+    raw_ids = Hashtbl.create 8;
+    raw_refs = [];
+    check_ids = Hashtbl.create 8;
+    checks = [];
+    negs = Hashtbl.create 8;
+    loops = [];
+    crit = 0;
+    end_patches = [];
+    inline = None;
+  }
+
+let finish ctx : program =
+  List.iter (fun at -> patch ctx at (here ctx)) ctx.end_patches;
+  let p =
     {
-      scope;
-      code = vec_create ();
-      nregs = 0;
-      scalar_ids = Hashtbl.create 16;
-      scalar_refs = [];
-      array_ids = Hashtbl.create 16;
-      array_refs = [];
-      loops = [];
-      crit = 0;
-      end_patches = [];
+      code = Array.sub ctx.code.items 0 ctx.code.len;
+      nregs = ctx.nregs;
+      scalars = Array.of_list (List.rev ctx.scalar_refs);
+      arrays = Array.of_list (List.rev ctx.array_refs);
+      raws = Array.of_list (List.rev ctx.raw_refs);
+      checks = Array.of_list (List.rev ctx.checks);
+      negatives =
+        Array.of_list (Hashtbl.fold (fun n () acc -> n :: acc) ctx.negs []);
+      typed = None;
     }
   in
+  { p with typed = specialize p }
+
+(* Compile raw (no cache): Ok program or Error bail-reason. *)
+let compile_raw env ~scope ~in_sub (body : Ast.stmt list) :
+    (program, string) result =
+  let ctx = make_ctx env scope ~in_sub in
   match List.iter (compile_stmt ctx) body with
-  | () ->
-    List.iter (fun at -> patch ctx at (here ctx)) ctx.end_patches;
-    Some
-      {
-        code = Array.sub ctx.code.items 0 ctx.code.len;
-        nregs = ctx.nregs;
-        scalars = Array.of_list (List.rev ctx.scalar_refs);
-        arrays = Array.of_list (List.rev ctx.array_refs);
-      }
-  | exception Bail -> None
+  | () -> Ok (finish ctx)
+  | exception Bail reason -> Error reason
 
-(* Compile cache, keyed by physical identity of the loop-body list:
-   the parser builds each AST once, so the same loop always presents
-   the same physical list, while structurally equal loops elsewhere
-   get their own entries.  Shared across states (serve builds a state
-   per call over one parsed AST) and guarded for worker-domain
-   compiles of loops nested in tree-walked bodies. *)
-module Phys_key = struct
-  type t = Ast.stmt list
+(* Program cache: structural digest key, namespaced by unit and the
+   call-compilation mode, FIFO-bounded.  Compiles run outside the
+   lock; a racing domain's first insert wins. *)
+let cache : (string, (program, string) result) Hashtbl.t = Hashtbl.create 64
+let cache_order : string Queue.t = Queue.create ()
+let cache_cap = 512
 
-  let equal = ( == )
-  let hash = Hashtbl.hash
-end
+let cache_key env kind digest =
+  env.e_unit ^ (if env.e_calls then "|c|" else "|n|") ^ kind ^ digest
 
-module Phys_tbl = Hashtbl.Make (Phys_key)
-
-let cache : program option Phys_tbl.t = Phys_tbl.create 64
-let cache_mutex = Mutex.create ()
-
-let compile_cached ~scope (body : Ast.stmt list) : program option =
-  Mutex.lock cache_mutex;
-  match Phys_tbl.find_opt cache body with
-  | Some r ->
-    Mutex.unlock cache_mutex;
-    r
+let cached_compile key (compile : unit -> (program, string) result) :
+    (program, string) result =
+  match locked (fun () -> Hashtbl.find_opt cache key) with
+  | Some r -> r
   | None -> (
-    Mutex.unlock cache_mutex;
-    let r = compile ~scope body in
-    Mutex.lock cache_mutex;
-    (* another domain may have won the race; keep the first insert *)
-    match Phys_tbl.find_opt cache body with
-    | Some prev ->
-      Mutex.unlock cache_mutex;
-      prev
-    | None ->
-      Phys_tbl.replace cache body r;
-      Mutex.unlock cache_mutex;
-      r)
+    let r = compile () in
+    locked (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some prev -> prev
+        | None ->
+          Hashtbl.replace cache key r;
+          Queue.push key cache_order;
+          while Queue.length cache_order > cache_cap do
+            let doomed = Queue.pop cache_order in
+            Hashtbl.remove cache doomed
+          done;
+          r))
+
+(** Compile a loop body (the [what] string labels the stats site).
+    Returns the program (None = bail, recorded as the site's reason)
+    and the site itself so the caller can count runs and bind-time
+    bails. *)
+let compile_body env ~scope ~what (body : Ast.stmt list) :
+    program option * Stats.site =
+  let dg = body_digest body in
+  let site =
+    Stats.get ~unit_key:env.e_unit
+      ~id:(what ^ "@" ^ String.sub dg 0 8)
+      ~label:what
+  in
+  let r =
+    cached_compile (cache_key env "b" dg) (fun () ->
+        compile_raw env ~scope ~in_sub:false body)
+  in
+  match r with
+  | Ok p -> (Some p, site)
+  | Error reason ->
+    Stats.set_reason site reason;
+    (None, site)
+
+(** Compile a whole subprogram body against a representative callee
+    scope (the first call's).  Later calls bind against their own
+    scopes; kind or folded-constant mismatches fail the bind and
+    tree-walk that call only. *)
+let compile_sub env ~scope (sp : Ast.subprogram) : program option * Stats.site
+    =
+  let dg = sub_digest sp in
+  let label = "sub " ^ String.lowercase_ascii sp.Ast.sub_name in
+  let site = Stats.get ~unit_key:env.e_unit ~id:label ~label in
+  let r =
+    cached_compile (cache_key env "s" dg) (fun () ->
+        compile_raw env ~scope ~in_sub:true sp.Ast.sub_body)
+  in
+  match r with
+  | Ok p -> (Some p, site)
+  | Error reason ->
+    Stats.set_reason site reason;
+    (None, site)
+
+(** Drop every cached program and stats site belonging to [unit_key]
+    (the listener calls this when it evicts a script from its own
+    cache, so long-lived serve processes don't accumulate programs for
+    dead scripts). *)
+let purge_unit u =
+  locked (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun k _ acc ->
+            if String.length k > String.length u && String.sub k 0 (String.length u) = u
+            then k :: acc
+            else acc)
+          cache []
+      in
+      List.iter (Hashtbl.remove cache) doomed);
+  Stats.purge_unit u

@@ -68,6 +68,11 @@ type state = {
   mutable use_bytecode : bool;
       (** lower eligible loop bodies to bytecode (default); [false]
           forces the tree-walker everywhere ([--no-bytecode]) *)
+  mutable bytecode_calls : bool;
+      (** compile CALLs and user-function references into [Icall] /
+          inline expansions (default); [false] reproduces the PR 6
+          "mixed" path where every call boundary bails to the
+          tree-walker (benchmark baseline, [--no-bytecode-calls]) *)
 }
 
 let lookup = Storage.lookup
@@ -116,11 +121,26 @@ let make_state ?(printer = print_string) (cu : Ast.compilation_unit) =
     default_threads = Omp.num_threads ();
     default_sched = Sched.default;
     use_bytecode = true;
+    bytecode_calls = true;
   }
 
 let set_threads st n = st.default_threads <- max 1 n
 let set_schedule st s = st.default_sched <- s
 let set_bytecode st b = st.use_bytecode <- b
+let set_bytecode_calls st b = st.bytecode_calls <- b
+
+(** The compile-time environment handed to {!Bytecode}: namespaces the
+    program cache and stats by compilation unit, exposes the
+    subprogram table for call compilation, and lets the inliner peek
+    at module scopes for shadowing checks.  Rebuilt per use (cheap:
+    one record; [Bytecode.unit_key] is memoized on the AST). *)
+let benv st : Bytecode.env =
+  {
+    Bytecode.e_unit = Bytecode.unit_key st.cu;
+    e_subs = st.subs;
+    e_calls = st.bytecode_calls;
+    e_module_scope = Hashtbl.find_opt st.module_scopes;
+  }
 let allocations st = Atomic.get st.alloc_count
 let reset_allocations st = Atomic.set st.alloc_count 0
 
@@ -480,9 +500,19 @@ and call_subprogram st name (actuals : Ast.expr list) ~caller_scope :
     error "%s called with %d arguments, expects %d" name (List.length actuals)
       (List.length sp.Ast.sub_args);
   let bindings = List.map (bind_actual st caller_scope) actuals in
+  call_with_bindings st sp mod_name name bindings
+
+(* The shared call tail: scope setup, body execution, copy-out and
+   result extraction.  Reached from the tree-walker (via
+   [call_subprogram], which evaluates actuals with [bind_actual]) and
+   from a compiled [Icall] site (via [callenv], which marshals the
+   same bindings out of VM registers) — both paths MUST run this exact
+   sequence or compiled and tree-walked calls diverge. *)
+and call_with_bindings st (sp : Ast.subprogram) mod_name name
+    (bindings : Storage.arg_binding list) : Value.t option =
   let scope = setup_scope st sp mod_name bindings in
   (* run body *)
-  (try exec_stmts st scope sp.Ast.sub_body with Sub_return -> ());
+  (try run_sub_body st sp scope with Sub_return -> ());
   (* copy-out *)
   List.iter2
     (fun dummy binding ->
@@ -499,6 +529,39 @@ and call_subprogram st name (actuals : Ast.expr list) ~caller_scope :
     match Hashtbl.find_opt scope.vars sp.Ast.sub_name with
     | Some { entry = Scalar v; _ } -> Some v
     | _ -> error "function %s did not set its result" name)
+
+(* Execute a subprogram body: compiled once per subprogram (digest
+   cached) when bytecode is on, re-bound against each call's scope;
+   any compile bail or bind mismatch tree-walks this call only. *)
+and run_sub_body st (sp : Ast.subprogram) scope =
+  if not st.use_bytecode then exec_stmts st scope sp.Ast.sub_body
+  else begin
+    let env = benv st in
+    match Bytecode.compile_sub env ~scope sp with
+    | Some p, site -> (
+      match
+        Vm.bind p scope ~printer:st.printer ~env:(callenv st) ~dovars:[]
+      with
+      | Some b ->
+        Bytecode.Stats.run site;
+        Vm.exec_bound b
+      | None ->
+        Bytecode.Stats.bail site;
+        exec_stmts st scope sp.Ast.sub_body)
+    | None, site ->
+      Bytecode.Stats.bail site;
+      exec_stmts st scope sp.Ast.sub_body
+  end
+
+(* The VM's view of the interpreter: a compiled [Icall] hands its
+   pre-marshalled bindings straight to the shared call tail (arity was
+   checked at compile time). *)
+and callenv st : Bytecode.callenv =
+  {
+    Bytecode.ce_call =
+      (fun sp mod_name name bindings ->
+        call_with_bindings st sp mod_name name bindings);
+  }
 
 and init_module st mod_name : scope =
   match Hashtbl.find_opt st.module_scopes mod_name with
@@ -823,18 +886,32 @@ and exec_do_serial st scope (l : Ast.do_loop) =
         s
       end
   in
-  (* Hot path: lower the body to bytecode once (cached on the AST) and
-     bind it to this scope; any unsupported construct or binding
-     mismatch falls back to the tree-walk below. *)
+  (* Hot path: lower the body to bytecode once (cached on its
+     structural digest) and bind it to this scope; any unsupported
+     construct or binding mismatch falls back to the tree-walk below,
+     counted against the loop's stats site. *)
   let compiled =
-    if st.use_bytecode then
-      match Bytecode.compile_cached ~scope l.Ast.do_body with
-      | Some prog -> Vm.bind prog scope ~printer:st.printer
-      | None -> None
+    if st.use_bytecode then begin
+      match Bytecode.compile_body (benv st) ~scope ~what:"do" l.Ast.do_body with
+      | Some p, site -> (
+        match
+          Vm.bind p scope ~printer:st.printer ~env:(callenv st)
+            ~dovars:[ slot ]
+        with
+        | Some b ->
+          Bytecode.Stats.run site;
+          Some b
+        | None ->
+          Bytecode.Stats.bail site;
+          None)
+      | None, site ->
+        Bytecode.Stats.bail site;
+        None
+    end
     else None
   in
   match compiled with
-  | Some fr -> Vm.run_do fr ~slot ~lo ~hi ~step
+  | Some b -> Vm.run_do b ~slot ~lo ~hi ~step
   | None ->
     let continue_ i = if step > 0 then i <= hi else i >= hi in
     (* Cooperative cancellation: poll the ambient deadline token every
@@ -990,25 +1067,44 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     let tscope = clone_scope_for_thread scope ~fresh in
     body_of_thread tscope clo chi
   in
-  (* Compile the chunk body once per loop (cached); each worker binds
-     against its private scope clone and falls back per chunk when a
-     binding does not resolve. *)
-  let compile_body body_stmts =
-    if st.use_bytecode then Bytecode.compile_cached ~scope body_stmts
+  (* Compile the chunk body once per loop (cached on its digest); each
+     worker binds against its private scope clone and falls back per
+     chunk when a binding does not resolve.  Stats count chunk
+     executions: runs are chunks that ran compiled, bails are chunks
+     that tree-walked. *)
+  let compile_chunk_body body_stmts =
+    if st.use_bytecode then
+      let p, site =
+        Bytecode.compile_body (benv st) ~scope ~what:"omp-do" body_stmts
+      in
+      Some (p, site)
     else None
   in
   (match collapse2 with
   | None ->
-    let prog = compile_body l.Ast.do_body in
+    let prog = compile_chunk_body l.Ast.do_body in
     let body tscope clo chi =
       let slot = Hashtbl.find tscope.vars l.Ast.do_var in
       let fr =
         match prog with
-        | Some p -> Vm.bind p tscope ~printer:st.printer
+        | Some (Some p, site) -> (
+          match
+            Vm.bind p tscope ~printer:st.printer ~env:(callenv st)
+              ~dovars:[ slot ]
+          with
+          | Some b ->
+            Bytecode.Stats.run site;
+            Some b
+          | None ->
+            Bytecode.Stats.bail site;
+            None)
+        | Some (None, site) ->
+          Bytecode.Stats.bail site;
+          None
         | None -> None
       in
       match fr with
-      | Some fr -> Vm.run_chunk fr ~slot ~clo ~chi
+      | Some b -> Vm.run_chunk b ~slot ~clo ~chi
       | None ->
         for i = clo to chi do
           if (i - clo) land 255 = 255 then Fault.check_current ();
@@ -1024,17 +1120,30 @@ and exec_do_parallel st scope (l : Ast.do_loop) (d : Ast.omp_do) =
     let osize = max 0 (hi - lo + 1) in
     let total = osize * isize in
     if total > 0 then begin
-      let prog = compile_body inner.Ast.do_body in
+      let prog = compile_chunk_body inner.Ast.do_body in
       let body tscope clo chi =
         let oslot = Hashtbl.find tscope.vars l.Ast.do_var in
         let islot = Hashtbl.find tscope.vars inner.Ast.do_var in
         let fr =
           match prog with
-          | Some p -> Vm.bind p tscope ~printer:st.printer
+          | Some (Some p, site) -> (
+            match
+              Vm.bind p tscope ~printer:st.printer ~env:(callenv st)
+                ~dovars:[ oslot; islot ]
+            with
+            | Some b ->
+              Bytecode.Stats.run site;
+              Some b
+            | None ->
+              Bytecode.Stats.bail site;
+              None)
+          | Some (None, site) ->
+            Bytecode.Stats.bail site;
+            None
           | None -> None
         in
         match fr with
-        | Some fr -> Vm.run_collapse fr ~oslot ~islot ~lo ~ilo ~isize ~clo ~chi
+        | Some b -> Vm.run_collapse b ~oslot ~islot ~lo ~ilo ~isize ~clo ~chi
         | None ->
           for k = clo to chi do
             if (k - clo) land 255 = 255 then Fault.check_current ();
@@ -1152,6 +1261,29 @@ let common_scalar st ~block ~var =
     | Some { entry = Scalar v; _ } -> v
     | Some _ -> error "/%s/ %s is not scalar" block var
     | None -> error "no member %s in COMMON /%s/" var block)
+
+(** {1 Bytecode observability}
+
+    Re-exports of {!Bytecode.Stats} so front-ends report coverage
+    without reaching into the compiler module. *)
+
+type bytecode_row = Bytecode.Stats.row = {
+  r_unit : string;
+  r_id : string;
+  r_label : string;
+  r_reason : string option;  (** first bailing construct, if any *)
+  r_runs : int;  (** executions that ran compiled *)
+  r_bails : int;  (** executions that fell back to the tree-walker *)
+}
+
+let bytecode_stats () = Bytecode.Stats.snapshot ()
+
+(** Only the rows belonging to [st]'s compilation unit. *)
+let bytecode_stats_for st =
+  let u = Bytecode.unit_key st.cu in
+  List.filter (fun r -> r.r_unit = u) (Bytecode.Stats.snapshot ())
+
+let reset_bytecode_stats () = Bytecode.Stats.reset ()
 
 (** Read an array-valued field of a scalar TYPE variable in a module
     (e.g. SARB's [fo%fuir]). *)

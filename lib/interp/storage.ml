@@ -63,6 +63,17 @@ let implicit_base name =
   | 'i' .. 'n' -> Ast.Integer
   | _ -> Ast.Real8
 
+(** {1 Argument bindings}
+
+    The evaluated form of one actual argument, shared between the
+    tree-walker's [bind_actual] and the VM's [Icall] marshalling so a
+    compiled call site hands the interpreter exactly the bindings the
+    tree-walker would have built: whole-variable actuals alias the
+    slot, everything else is copy-in with an optional copy-out
+    writeback. *)
+type arg_binding =
+  [ `Alias of slot | `Copy of Value.t * (Value.t -> unit) option ]
+
 (** {1 Control-flow exceptions} *)
 
 exception Loop_exit

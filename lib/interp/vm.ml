@@ -2,11 +2,24 @@
 
     [bind] re-resolves a compiled program's name descriptors against
     the executing scope (the caller's scope for serial loops, a worker
-    thread's private clone for parallel chunks), verifying that every
-    binding still has the kind the compiler saw; any mismatch returns
-    [None] and the caller falls back to the tree-walker.  [exec] is
-    the tight dispatch loop; the [run_*] drivers reproduce the
-    tree-walker's loop protocols exactly, including the
+    thread's private clone for parallel chunks, the callee scope for
+    compiled subprograms), verifying that every binding still has the
+    kind the compiler saw — and that everything compilation baked in
+    from its representative scope still holds: folded PARAMETER values
+    are compared against the executing slot, and names compiled as
+    intrinsics or function references must still not resolve as
+    variables.  Any mismatch returns [None] and the caller falls back
+    to the tree-walker.
+
+    When the program carries a typed variant (see
+    {!Bytecode.specialize}) and the executing scope's current values
+    match the inferred kinds, [bind] returns an unboxed typed frame
+    instead; otherwise the boxed frame.  Both produce bit-identical
+    results — the typed dispatch loop performs the same primitive
+    operations in the same order, minus the [Value] boxing.
+
+    [exec]/[texec] are the dispatch loops; the [run_*] drivers
+    reproduce the tree-walker's loop protocols exactly, including the
     {!Glaf_runtime.Fault.check_current} cancellation poll every 256
     iterations and the Fortran DO-variable completion/EXIT rules. *)
 
@@ -30,10 +43,37 @@ type frame = {
   regs : Value.t array;
   scalars : Storage.slot array;
   arrays : abind array;
+  raws : Storage.slot array;  (** whole-slot aliases for Icall *)
+  env : Bytecode.callenv;
   printer : string -> unit;
   mutable tick : int;
   mutable crit : int;  (* CRITICAL locks held (0 or 1) *)
 }
+
+(** Typed array binding: the raw element bank (one of the two arrays
+    is empty) plus the same pre-fetched bounds. *)
+type tabind = {
+  t_f : float array;
+  t_i : int array;
+  c_lo1 : int;
+  c_hi1 : int;
+  c_lo2 : int;
+  c_hi2 : int;
+  c_s1 : int;
+}
+
+type tframe = {
+  tcode : Bytecode.tinstr array;
+  fregs : float array;
+  iregs : int array;
+  tscalars : Storage.slot array;
+  tarrays : tabind array;
+  mutable ttick : int;
+  mutable tcrit : int;
+}
+
+(** A bound program, ready to run: boxed or typed. *)
+type bound = Bf of frame | Bt of tframe
 
 let dummy_slot () =
   { Storage.entry = Storage.Scalar (Value.Int 0); base = Ast.Integer; is_param = false }
@@ -64,8 +104,66 @@ let resolve_slot scope name path : Storage.slot option =
     in
     walk slot path
 
-let bind (p : Bytecode.program) (scope : Storage.scope) ~printer :
-    frame option =
+(* Typed construction aborts back to the boxed frame. *)
+exception Fall
+
+let try_typed (p : Bytecode.program) (tp : Bytecode.tprogram)
+    (scalars : Storage.slot array) (arrays : abind array)
+    (dovars : Storage.slot list) : tframe option =
+  try
+    Array.iteri
+      (fun i (sl : Storage.slot) ->
+        (match (tp.Bytecode.t_sty.(i), sl.Storage.entry) with
+        | Bytecode.TF, Storage.Scalar (Value.Real _) -> ()
+        | Bytecode.TI, Storage.Scalar (Value.Int _) -> ()
+        | Bytecode.TB, Storage.Scalar (Value.Bool _) -> ()
+        | _ -> raise Fall);
+        (* the loop driver writes raw Ints into its DO-variable slot *)
+        List.iter
+          (fun dv ->
+            if dv == sl && tp.Bytecode.t_sty.(i) <> Bytecode.TI then
+              raise Fall)
+          dovars)
+      scalars;
+    let tarrays =
+      Array.map2
+        (fun (aref : Bytecode.array_ref) ab ->
+          let tf, ti =
+            match (aref.Bytecode.aelem, ab.ba.Farray.data) with
+            | Farray.Efloat, Farray.F fa when ab.ba.Farray.elem = Farray.Efloat
+              ->
+              (fa, [||])
+            | Farray.Eint, Farray.I ia when ab.ba.Farray.elem = Farray.Eint ->
+              ([||], ia)
+            | _ -> raise Fall
+          in
+          {
+            t_f = tf;
+            t_i = ti;
+            c_lo1 = ab.b_lo1;
+            c_hi1 = ab.b_hi1;
+            c_lo2 = ab.b_lo2;
+            c_hi2 = ab.b_hi2;
+            c_s1 = ab.b_s1;
+          })
+        p.Bytecode.arrays arrays
+    in
+    Some
+      {
+        tcode = tp.Bytecode.tcode;
+        fregs = Array.make tp.Bytecode.t_nf 0.0;
+        iregs = Array.make tp.Bytecode.t_ni 0;
+        tscalars = scalars;
+        tarrays;
+        ttick = 0;
+        tcrit = 0;
+      }
+  with Fall -> None
+
+(** [dovars] lists the slots a loop driver will write raw Int values
+    into (the DO variables); they gate the typed variant only. *)
+let bind (p : Bytecode.program) (scope : Storage.scope) ~printer
+    ~(env : Bytecode.callenv) ~(dovars : Storage.slot list) : bound option =
   let ok = ref true in
   let scalars =
     Array.map
@@ -109,18 +207,65 @@ let bind (p : Bytecode.program) (scope : Storage.scope) ~printer :
           dummy_abind)
       p.Bytecode.arrays
   in
+  let raws =
+    Array.map
+      (fun name ->
+        match Storage.lookup scope name with
+        | Some s -> s
+        | None ->
+          ok := false;
+          dummy_slot ())
+      p.Bytecode.raws
+  in
+  (* Everything compilation baked in from its representative scope
+     must still hold here, or the generated code is for a different
+     program: folded PARAMETER values... *)
+  Array.iter
+    (fun ((r : Bytecode.scalar_ref), v) ->
+      match resolve_slot scope r.Bytecode.sname r.Bytecode.spath with
+      | Some { Storage.entry = Storage.Scalar v'; _ } when compare v v' = 0 ->
+        ()
+      | _ -> ok := false)
+    p.Bytecode.checks;
+  (* ...and names resolved as intrinsics or user functions, which a
+     variable of the same name would shadow. *)
+  Array.iter
+    (fun name -> if Storage.lookup scope name <> None then ok := false)
+    p.Bytecode.negatives;
   if not !ok then None
   else
-    Some
-      {
-        code = p.Bytecode.code;
-        regs = Array.make (max 1 p.Bytecode.nregs) (Value.Int 0);
-        scalars;
-        arrays;
-        printer;
-        tick = 0;
-        crit = 0;
-      }
+    match p.Bytecode.typed with
+    | Some tp -> (
+      match try_typed p tp scalars arrays dovars with
+      | Some tf -> Some (Bt tf)
+      | None ->
+        Some
+          (Bf
+             {
+               code = p.Bytecode.code;
+               regs = Array.make (max 1 p.Bytecode.nregs) (Value.Int 0);
+               scalars;
+               arrays;
+               raws;
+               env;
+               printer;
+               tick = 0;
+               crit = 0;
+             }))
+    | None ->
+      Some
+        (Bf
+           {
+             code = p.Bytecode.code;
+             regs = Array.make (max 1 p.Bytecode.nregs) (Value.Int 0);
+             scalars;
+             arrays;
+             raws;
+             env;
+             printer;
+             tick = 0;
+             crit = 0;
+           })
 
 (* Whole-array assignment, mirroring the tree-walker's assign_lvalue. *)
 let store_whole a v =
@@ -192,6 +337,19 @@ let exec fr : bool =
          incr pc
        | Bytecode.Istore_raw (s, r) ->
          scalars.(s).Storage.entry <- Storage.Scalar regs.(r);
+         incr pc
+       | Bytecode.Icoerce (base, d, s) ->
+         regs.(d) <- Value.coerce base regs.(s);
+         incr pc
+       | Bytecode.Idummy_adjust s ->
+         (* setup_scope's dummy-redeclaration quirk: declaring an
+            aliased dummy REAL rewrites an Int value in place *)
+         let sl = scalars.(s) in
+         (match sl.Storage.entry with
+         | Storage.Scalar v when Value.is_int v ->
+           sl.Storage.entry <-
+             Storage.Scalar (Value.Real (Value.to_float v))
+         | _ -> ());
          incr pc
        | Bytecode.Iload_arr (d, a) ->
          regs.(d) <- Value.Arr arrays.(a).ba;
@@ -300,7 +458,7 @@ let exec fr : bool =
          | Value.Int 0 -> Storage.error "DO loop with zero step"
          | _ -> ());
          incr pc
-       | Bytecode.Iintr (f, d, args) ->
+       | Bytecode.Iintr (_, f, d, args) ->
          let vals =
            match Array.length args with
            | 1 -> [ regs.(args.(0)) ]
@@ -308,6 +466,40 @@ let exec fr : bool =
            | _ -> Array.fold_right (fun r acc -> regs.(r) :: acc) args []
          in
          regs.(d) <- f vals;
+         incr pc
+       | Bytecode.Icall cs ->
+         let bindings =
+           Array.fold_right
+             (fun spec acc ->
+               (match spec with
+               | Bytecode.Arg_alias rid -> `Alias fr.raws.(rid)
+               | Bytecode.Arg_value r -> `Copy (regs.(r), None)
+               | Bytecode.Arg_elem { ae_arr; ae_idx; ae_val } ->
+                 let ab = arrays.(ae_arr) in
+                 let idx =
+                   Array.map
+                     (fun r ->
+                       match regs.(r) with
+                       | Value.Int i -> i
+                       | _ -> corrupt ())
+                     ae_idx
+                 in
+                 (* copy-out through the resolved lvalue, exactly the
+                    tree-walker's writeback: bounds-checked Farray.set *)
+                 let wb v = Farray.set ab.ba idx (Value.to_cell v) in
+                 `Copy (regs.(ae_val), Some wb))
+               :: acc)
+             cs.Bytecode.cs_args []
+         in
+         (match
+            fr.env.Bytecode.ce_call cs.Bytecode.cs_sub cs.Bytecode.cs_mod
+              cs.Bytecode.cs_name bindings
+          with
+         | Some v -> if cs.Bytecode.cs_dst >= 0 then regs.(cs.Bytecode.cs_dst) <- v
+         | None ->
+           if cs.Bytecode.cs_dst >= 0 then
+             Storage.error "subroutine %s used as a function"
+               cs.Bytecode.cs_name);
          incr pc
        | Bytecode.Ijmp t -> pc := t
        | Bytecode.Ijf (r, t) ->
@@ -367,21 +559,339 @@ let exec fr : bool =
      raise e);
   !exited
 
+(* The unboxed dispatch loop.  Same structure as [exec]; every opcode
+   is the primitive operation its boxed counterpart performs on the
+   value kinds the binder verified, so the float/int results are
+   bit-identical (DESIGN.md §16). *)
+let texec (fr : tframe) : bool =
+  let code = fr.tcode in
+  let fregs = fr.fregs in
+  let iregs = fr.iregs in
+  let scalars = fr.tscalars in
+  let arrays = fr.tarrays in
+  let n = Array.length code in
+  let pc = ref 0 in
+  let exited = ref false in
+  (try
+     while !pc < n do
+       match Array.unsafe_get code !pc with
+       | Bytecode.TconstF (d, x) ->
+         fregs.(d) <- x;
+         incr pc
+       | Bytecode.TconstI (d, x) ->
+         iregs.(d) <- x;
+         incr pc
+       | Bytecode.TmovF (d, s) ->
+         fregs.(d) <- fregs.(s);
+         incr pc
+       | Bytecode.TmovI (d, s) ->
+         iregs.(d) <- iregs.(s);
+         incr pc
+       | Bytecode.TldsF (d, s) ->
+         (match scalars.(s).Storage.entry with
+         | Storage.Scalar (Value.Real x) -> fregs.(d) <- x
+         | _ -> corrupt ());
+         incr pc
+       | Bytecode.TldsI (d, s) ->
+         (match scalars.(s).Storage.entry with
+         | Storage.Scalar (Value.Int x) -> iregs.(d) <- x
+         | _ -> corrupt ());
+         incr pc
+       | Bytecode.TldsB (d, s) ->
+         (match scalars.(s).Storage.entry with
+         | Storage.Scalar (Value.Bool b) -> iregs.(d) <- (if b then 1 else 0)
+         | _ -> corrupt ());
+         incr pc
+       | Bytecode.TstsF (s, r) ->
+         scalars.(s).Storage.entry <- Storage.Scalar (Value.Real fregs.(r));
+         incr pc
+       | Bytecode.TstsF_ofI (s, r) ->
+         scalars.(s).Storage.entry <-
+           Storage.Scalar (Value.Real (float_of_int iregs.(r)));
+         incr pc
+       | Bytecode.TstsI (s, r) | Bytecode.TstsI_raw (s, r) ->
+         scalars.(s).Storage.entry <- Storage.Scalar (Value.Int iregs.(r));
+         incr pc
+       | Bytecode.TstsI_ofF (s, r) ->
+         scalars.(s).Storage.entry <-
+           Storage.Scalar (Value.Int (int_of_float fregs.(r)));
+         incr pc
+       | Bytecode.TstsB (s, r) ->
+         scalars.(s).Storage.entry <-
+           Storage.Scalar (Value.Bool (iregs.(r) <> 0));
+         incr pc
+       | Bytecode.Ti2f (d, s) ->
+         fregs.(d) <- float_of_int iregs.(s);
+         incr pc
+       | Bytecode.Tf2i (d, s) ->
+         iregs.(d) <- int_of_float fregs.(s);
+         incr pc
+       | Bytecode.Tld1F (d, a, ir) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         fregs.(d) <- Array.unsafe_get ab.t_f (i - ab.c_lo1);
+         incr pc
+       | Bytecode.Tld2F (d, a, ir, jr) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         let j = iregs.(jr) in
+         if j < ab.c_lo2 || j > ab.c_hi2 then
+           Farray.subscript_error j ab.c_lo2 ab.c_hi2 2;
+         fregs.(d) <-
+           Array.unsafe_get ab.t_f
+             (i - ab.c_lo1 + ((j - ab.c_lo2) * ab.c_s1));
+         incr pc
+       | Bytecode.Tld1I (d, a, ir) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         iregs.(d) <- Array.unsafe_get ab.t_i (i - ab.c_lo1);
+         incr pc
+       | Bytecode.Tld2I (d, a, ir, jr) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         let j = iregs.(jr) in
+         if j < ab.c_lo2 || j > ab.c_hi2 then
+           Farray.subscript_error j ab.c_lo2 ab.c_hi2 2;
+         iregs.(d) <-
+           Array.unsafe_get ab.t_i
+             (i - ab.c_lo1 + ((j - ab.c_lo2) * ab.c_s1));
+         incr pc
+       | Bytecode.Tst1F (a, ir, r) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         Array.unsafe_set ab.t_f (i - ab.c_lo1) fregs.(r);
+         incr pc
+       | Bytecode.Tst2F (a, ir, jr, r) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         let j = iregs.(jr) in
+         if j < ab.c_lo2 || j > ab.c_hi2 then
+           Farray.subscript_error j ab.c_lo2 ab.c_hi2 2;
+         Array.unsafe_set ab.t_f
+           (i - ab.c_lo1 + ((j - ab.c_lo2) * ab.c_s1))
+           fregs.(r);
+         incr pc
+       | Bytecode.Tst1I (a, ir, r) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         Array.unsafe_set ab.t_i (i - ab.c_lo1) iregs.(r);
+         incr pc
+       | Bytecode.Tst2I (a, ir, jr, r) ->
+         let ab = arrays.(a) in
+         let i = iregs.(ir) in
+         if i < ab.c_lo1 || i > ab.c_hi1 then
+           Farray.subscript_error i ab.c_lo1 ab.c_hi1 1;
+         let j = iregs.(jr) in
+         if j < ab.c_lo2 || j > ab.c_hi2 then
+           Farray.subscript_error j ab.c_lo2 ab.c_hi2 2;
+         Array.unsafe_set ab.t_i
+           (i - ab.c_lo1 + ((j - ab.c_lo2) * ab.c_s1))
+           iregs.(r);
+         incr pc
+       | Bytecode.TaddF (d, a, b) ->
+         fregs.(d) <- fregs.(a) +. fregs.(b);
+         incr pc
+       | Bytecode.TsubF (d, a, b) ->
+         fregs.(d) <- fregs.(a) -. fregs.(b);
+         incr pc
+       | Bytecode.TmulF (d, a, b) ->
+         fregs.(d) <- fregs.(a) *. fregs.(b);
+         incr pc
+       | Bytecode.TdivF (d, a, b) ->
+         fregs.(d) <- fregs.(a) /. fregs.(b);
+         incr pc
+       | Bytecode.TpowF (d, a, b) ->
+         fregs.(d) <- fregs.(a) ** fregs.(b);
+         incr pc
+       | Bytecode.TaddI (d, a, b) ->
+         iregs.(d) <- iregs.(a) + iregs.(b);
+         incr pc
+       | Bytecode.TsubI (d, a, b) ->
+         iregs.(d) <- iregs.(a) - iregs.(b);
+         incr pc
+       | Bytecode.TmulI (d, a, b) ->
+         iregs.(d) <- iregs.(a) * iregs.(b);
+         incr pc
+       | Bytecode.TdivI (d, a, b) ->
+         let y = iregs.(b) in
+         if y = 0 then Value.error "integer division by zero";
+         iregs.(d) <- iregs.(a) / y;
+         incr pc
+       | Bytecode.TmodI (d, a, b) ->
+         let y = iregs.(b) in
+         if y = 0 then Value.error "mod by zero";
+         iregs.(d) <- iregs.(a) mod y;
+         incr pc
+       | Bytecode.TcmpF (c, d, a, b) ->
+         let k = Float.compare fregs.(a) fregs.(b) in
+         iregs.(d) <-
+           (if
+              match c with
+              | Bytecode.Clt -> k < 0
+              | Bytecode.Cle -> k <= 0
+              | Bytecode.Cgt -> k > 0
+              | Bytecode.Cge -> k >= 0
+              | Bytecode.Ceq -> k = 0
+              | Bytecode.Cne -> k <> 0
+            then 1
+            else 0);
+         incr pc
+       | Bytecode.TcmpI (c, d, a, b) ->
+         let x = iregs.(a) and y = iregs.(b) in
+         iregs.(d) <-
+           (if
+              match c with
+              | Bytecode.Clt -> x < y
+              | Bytecode.Cle -> x <= y
+              | Bytecode.Cgt -> x > y
+              | Bytecode.Cge -> x >= y
+              | Bytecode.Ceq -> x = y
+              | Bytecode.Cne -> x <> y
+            then 1
+            else 0);
+         incr pc
+       | Bytecode.TnegF (d, s) ->
+         fregs.(d) <- -.fregs.(s);
+         incr pc
+       | Bytecode.TnegI (d, s) ->
+         iregs.(d) <- -iregs.(s);
+         incr pc
+       | Bytecode.Tnot (d, s) ->
+         iregs.(d) <- (if iregs.(s) = 0 then 1 else 0);
+         incr pc
+       | Bytecode.Tbool (d, s) ->
+         iregs.(d) <- (if iregs.(s) <> 0 then 1 else 0);
+         incr pc
+       | Bytecode.Tcheck_step r ->
+         if iregs.(r) = 0 then Storage.error "DO loop with zero step";
+         incr pc
+       | Bytecode.Tin1F (_, f, d, a) ->
+         fregs.(d) <- f fregs.(a);
+         incr pc
+       | Bytecode.Tin2F (_, f, d, a, b) ->
+         fregs.(d) <- f fregs.(a) fregs.(b);
+         incr pc
+       | Bytecode.TfniF (_, f, d, a) ->
+         iregs.(d) <- f fregs.(a);
+         incr pc
+       | Bytecode.TmaxF (d, a, b) ->
+         (* variadic_minmax's pick is polymorphic (>) on floats, i.e.
+            Float.compare's total order (NaN below everything) *)
+         let x = fregs.(a) and y = fregs.(b) in
+         fregs.(d) <- (if Float.compare y x > 0 then y else x);
+         incr pc
+       | Bytecode.TminF (d, a, b) ->
+         let x = fregs.(a) and y = fregs.(b) in
+         fregs.(d) <- (if Float.compare y x < 0 then y else x);
+         incr pc
+       | Bytecode.TmaxI (d, a, b) ->
+         (* the boxed pick compares to_floats, so go through
+            float_of_int (observable for > 2^53 magnitudes) *)
+         let x = iregs.(a) and y = iregs.(b) in
+         iregs.(d) <-
+           (if Float.compare (float_of_int y) (float_of_int x) > 0 then y
+            else x);
+         incr pc
+       | Bytecode.TminI (d, a, b) ->
+         let x = iregs.(a) and y = iregs.(b) in
+         iregs.(d) <-
+           (if Float.compare (float_of_int y) (float_of_int x) < 0 then y
+            else x);
+         incr pc
+       | Bytecode.TabsF (d, s) ->
+         fregs.(d) <- Float.abs fregs.(s);
+         incr pc
+       | Bytecode.TabsI (d, s) ->
+         iregs.(d) <- abs iregs.(s);
+         incr pc
+       | Bytecode.Tjmp t -> pc := t
+       | Bytecode.Tjf (r, t) -> if iregs.(r) <> 0 then incr pc else pc := t
+       | Bytecode.Tjt (r, t) -> if iregs.(r) <> 0 then pc := t else incr pc
+       | Bytecode.Tloop_test { t_ireg; t_hireg; t_stepreg; t_target } ->
+         let i = iregs.(t_ireg)
+         and hi = iregs.(t_hireg)
+         and step = iregs.(t_stepreg) in
+         if (if step > 0 then i <= hi else i >= hi) then incr pc
+         else pc := t_target
+       | Bytecode.Tinc (ir, sr) ->
+         iregs.(ir) <- iregs.(ir) + iregs.(sr);
+         incr pc
+       | Bytecode.Tloop_fini { t_sid; t_loreg; t_hireg; t_stepreg } ->
+         let lo = iregs.(t_loreg)
+         and hi = iregs.(t_hireg)
+         and step = iregs.(t_stepreg) in
+         scalars.(t_sid).Storage.entry <-
+           Storage.Scalar
+             (Value.Int (lo + (step * max 0 ((hi - lo + step) / step))));
+         incr pc
+       | Bytecode.Tpoll ->
+         fr.ttick <- fr.ttick + 1;
+         if fr.ttick land 255 = 0 then Fault.check_current ();
+         incr pc
+       | Bytecode.Tcrit_enter ->
+         Mutex.lock Omp.critical_mutex;
+         fr.tcrit <- fr.tcrit + 1;
+         incr pc
+       | Bytecode.Tcrit_exit ->
+         fr.tcrit <- fr.tcrit - 1;
+         Mutex.unlock Omp.critical_mutex;
+         incr pc
+       | Bytecode.Treturn -> raise Storage.Sub_return
+       | Bytecode.Texit ->
+         exited := true;
+         pc := n
+     done
+   with e ->
+     while fr.tcrit > 0 do
+       fr.tcrit <- fr.tcrit - 1;
+       Mutex.unlock Omp.critical_mutex
+     done;
+     raise e);
+  !exited
+
 (* --- loop drivers -------------------------------------------------------- *)
+
+(** Run a bound subprogram body once (RETURN raises [Sub_return],
+    which the interpreter's call protocol catches). *)
+let exec_bound (b : bound) : unit =
+  match b with Bf fr -> ignore (exec fr) | Bt tf -> ignore (texec tf)
 
 (** Serial DO: bounds were already evaluated by the interpreter.
     After normal completion the DO variable holds the loop-completed
     value; after a top-level EXIT it retains the value at the EXIT. *)
-let run_do fr ~(slot : Storage.slot) ~lo ~hi ~step =
+let run_do (b : bound) ~(slot : Storage.slot) ~lo ~hi ~step =
   let continue_ i = if step > 0 then i <= hi else i >= hi in
   let exited = ref false in
   let i = ref lo in
-  while (not !exited) && continue_ !i do
-    fr.tick <- fr.tick + 1;
-    if fr.tick land 255 = 0 then Fault.check_current ();
-    slot.Storage.entry <- Storage.Scalar (Value.Int !i);
-    if exec fr then exited := true else i := !i + step
-  done;
+  (match b with
+  | Bf fr ->
+    while (not !exited) && continue_ !i do
+      fr.tick <- fr.tick + 1;
+      if fr.tick land 255 = 0 then Fault.check_current ();
+      slot.Storage.entry <- Storage.Scalar (Value.Int !i);
+      if exec fr then exited := true else i := !i + step
+    done
+  | Bt tf ->
+    while (not !exited) && continue_ !i do
+      tf.ttick <- tf.ttick + 1;
+      if tf.ttick land 255 = 0 then Fault.check_current ();
+      slot.Storage.entry <- Storage.Scalar (Value.Int !i);
+      if texec tf then exited := true else i := !i + step
+    done);
   if not !exited then
     slot.Storage.entry <-
       Storage.Scalar (Value.Int (lo + (step * max 0 ((hi - lo + step) / step))))
@@ -389,21 +899,41 @@ let run_do fr ~(slot : Storage.slot) ~lo ~hi ~step =
 (** One chunk of a parallel DO.  A top-level EXIT escapes as
     [Loop_exit], exactly like the tree-walker's chunk body (where the
     pool surfaces it as a region error). *)
-let run_chunk fr ~(slot : Storage.slot) ~clo ~chi =
-  for i = clo to chi do
-    if (i - clo) land 255 = 255 then Fault.check_current ();
-    slot.Storage.entry <- Storage.Scalar (Value.Int i);
-    if exec fr then raise Storage.Loop_exit
-  done
+let run_chunk (b : bound) ~(slot : Storage.slot) ~clo ~chi =
+  match b with
+  | Bf fr ->
+    for i = clo to chi do
+      if (i - clo) land 255 = 255 then Fault.check_current ();
+      slot.Storage.entry <- Storage.Scalar (Value.Int i);
+      if exec fr then raise Storage.Loop_exit
+    done
+  | Bt tf ->
+    for i = clo to chi do
+      if (i - clo) land 255 = 255 then Fault.check_current ();
+      slot.Storage.entry <- Storage.Scalar (Value.Int i);
+      if texec tf then raise Storage.Loop_exit
+    done
 
 (** One chunk of a COLLAPSE(2) parallel DO over the linearized
     iteration space (unit steps, validated by the interpreter). *)
-let run_collapse fr ~(oslot : Storage.slot) ~(islot : Storage.slot) ~lo ~ilo
-    ~isize ~clo ~chi =
-  for k = clo to chi do
-    if (k - clo) land 255 = 255 then Fault.check_current ();
-    oslot.Storage.entry <- Storage.Scalar (Value.Int (lo + ((k - 1) / isize)));
-    islot.Storage.entry <-
-      Storage.Scalar (Value.Int (ilo + ((k - 1) mod isize)));
-    if exec fr then raise Storage.Loop_exit
-  done
+let run_collapse (b : bound) ~(oslot : Storage.slot) ~(islot : Storage.slot)
+    ~lo ~ilo ~isize ~clo ~chi =
+  match b with
+  | Bf fr ->
+    for k = clo to chi do
+      if (k - clo) land 255 = 255 then Fault.check_current ();
+      oslot.Storage.entry <-
+        Storage.Scalar (Value.Int (lo + ((k - 1) / isize)));
+      islot.Storage.entry <-
+        Storage.Scalar (Value.Int (ilo + ((k - 1) mod isize)));
+      if exec fr then raise Storage.Loop_exit
+    done
+  | Bt tf ->
+    for k = clo to chi do
+      if (k - clo) land 255 = 255 then Fault.check_current ();
+      oslot.Storage.entry <-
+        Storage.Scalar (Value.Int (lo + ((k - 1) / isize)));
+      islot.Storage.entry <-
+        Storage.Scalar (Value.Int (ilo + ((k - 1) mod isize)));
+      if texec tf then raise Storage.Loop_exit
+    done

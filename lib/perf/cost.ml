@@ -80,6 +80,14 @@ let trip_count env (l : Ast.do_loop) : int =
 
 (** {1 Expression cost} *)
 
+(* Small leaf subprograms (the shape the bytecode compiler inlines —
+   see {!Glaf_interp.Bytecode.leaf_shape}) are also the shape any
+   optimizing Fortran compiler inlines at -O2: no frame is built, so
+   the model charges only the inlined body, not [call_ns].  Using the
+   interpreter's predicate keeps one source of truth for the policy. *)
+let is_leaf (sp : Ast.subprogram) : bool =
+  Glaf_interp.Bytecode.leaf_shape sp <> None
+
 let rec expr_cost env (e : Ast.expr) : float =
   let m = env.cfg.machine in
   match e with
@@ -94,7 +102,8 @@ let rec expr_cost env (e : Ast.expr) : float =
         else
           match Ast.find_subprogram env.cu name with
           | Some sp when env.depth_guard > 0 ->
-            acc +. arg_cost +. m.Machine.call_ns
+            let frame = if is_leaf sp then 0.0 else m.Machine.call_ns in
+            acc +. arg_cost +. frame
             +. subprogram_cost
                  { env with depth_guard = env.depth_guard - 1 }
                  sp args
@@ -155,7 +164,8 @@ and stmt_cost env (s : Ast.stmt) : float =
     let arg_cost = List.fold_left (fun a x -> a +. expr_cost env x) 0.0 args in
     match Ast.find_subprogram env.cu name with
     | Some sp when env.depth_guard > 0 ->
-      arg_cost +. m.Machine.call_ns
+      let frame = if is_leaf sp then 0.0 else m.Machine.call_ns in
+      arg_cost +. frame
       +. subprogram_cost { env with depth_guard = env.depth_guard - 1 } sp args
     | _ -> arg_cost +. m.Machine.call_ns)
   | Ast.Return | Ast.Exit | Ast.Cycle | Ast.Continue | Ast.Stop _ ->
@@ -210,7 +220,22 @@ and loop_cost env (l : Ast.do_loop) : float =
   match l.Ast.do_omp with
   | None ->
     (* serial: compiler optimizations apply *)
-    let is_user_fn name = Ast.find_subprogram env.cu name <> None in
+    let is_user_fn name =
+      (* Branch-free leaf callees are inlined away before
+         vectorization, so they don't demote a loop to scalar code.
+         A leaf whose body branches still inlines (no call_ns above)
+         but the inlined IF blocks vectorization, same as writing the
+         branch in the loop body directly. *)
+      match Ast.find_subprogram env.cu name with
+      | Some sp ->
+        (not (is_leaf sp))
+        || List.exists
+             (function
+               | Ast.If_block _ | Ast.If_arith _ -> true
+               | _ -> false)
+             sp.Ast.sub_body
+      | None -> false
+    in
     let opt = Compiler_model.classify ~trip:(Some trip) ~is_user_fn l in
     let body = stmts_cost (env_with_midpoint env l) l.Ast.do_body in
     let factor = Compiler_model.speedup m opt in

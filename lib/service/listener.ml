@@ -249,6 +249,33 @@ let outcome_response ~seq (oc : Serve.outcome) =
     (Fault.json_escape oc.Serve.oc_output)
     (oc.Serve.oc_time_s *. 1e3)
 
+(* Bytecode coverage over every script this process has served: total
+   compiled-vs-treewalked executions plus the worst bailing sites, so
+   a coverage regression shows up in monitoring rather than as a
+   silent slowdown. *)
+let bytecode_json () =
+  let rows = Glaf_interp.Bytecode.Stats.snapshot () in
+  let runs = List.fold_left (fun a (r : Glaf_interp.Bytecode.Stats.row) -> a + r.r_runs) 0 rows in
+  let bails = List.fold_left (fun a (r : Glaf_interp.Bytecode.Stats.row) -> a + r.r_bails) 0 rows in
+  let bailing =
+    List.filter (fun (r : Glaf_interp.Bytecode.Stats.row) -> r.r_bails > 0) rows
+    |> List.sort (fun (a : Glaf_interp.Bytecode.Stats.row) b ->
+           compare b.r_bails a.r_bails)
+  in
+  let top = List.filteri (fun i _ -> i < 8) bailing in
+  Printf.sprintf
+    "{\"sites\":%d,\"runs\":%d,\"bails\":%d,\"bail_sites\":[%s]}"
+    (List.length rows) runs bails
+    (String.concat ","
+       (List.map
+          (fun (r : Glaf_interp.Bytecode.Stats.row) ->
+            Printf.sprintf "{\"label\":\"%s\",\"bails\":%d,\"reason\":%s}"
+              (Fault.json_escape r.r_label) r.r_bails
+              (match r.r_reason with
+              | Some why -> "\"" ^ Fault.json_escape why ^ "\""
+              | None -> "null"))
+          top))
+
 let status_response ~seq t =
   let st = stats t in
   Printf.sprintf
@@ -256,7 +283,7 @@ let status_response ~seq t =
      \"pending\":%d,\"max_pending\":%d,\"connections\":%d,\"ok\":%d,\
      \"failed\":%d,\"shed\":%d,\"rejected\":%d,\"write_errors\":%d,\
      \"respawns\":%d,\"cache\":{\"size\":%d,\"capacity\":%d,\"hits\":%d,\
-     \"misses\":%d,\"evictions\":%d,\"hit_rate\":%.4f}}}"
+     \"misses\":%d,\"evictions\":%d,\"hit_rate\":%.4f},\"bytecode\":%s}}"
     seq
     (Fault.json_escape (health_string st.ls_health))
     st.ls_draining st.ls_pending st.ls_max_pending st.ls_accepted st.ls_ok
@@ -265,6 +292,7 @@ let status_response ~seq t =
     st.ls_cache.Progcache.cs_hits st.ls_cache.Progcache.cs_misses
     st.ls_cache.Progcache.cs_evictions
     (Progcache.hit_rate st.ls_cache)
+    (bytecode_json ())
 
 (* --- socket plumbing ------------------------------------------------------ *)
 

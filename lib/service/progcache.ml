@@ -89,15 +89,21 @@ let evict_lru c =
     Hashtbl.fold
       (fun k e acc ->
         match acc with
-        | Some (_, stamp) when stamp <= e.e_stamp -> acc
-        | _ -> Some (k, e.e_stamp))
+        | Some (_, _, stamp) when stamp <= e.e_stamp -> acc
+        | _ -> Some (k, e, e.e_stamp))
       c.tbl None
   in
   match victim with
   | None -> ()
-  | Some (k, _) ->
+  | Some (k, e, _) ->
     Hashtbl.remove c.tbl k;
-    c.evictions <- c.evictions + 1
+    c.evictions <- c.evictions + 1;
+    (* Drop the evicted script's compiled bytecode and stats sites
+       too: the interpreter-level caches key by the unit's structural
+       digest, so without this a long-lived server accumulates
+       programs for scripts it will never serve again. *)
+    Glaf_interp.Bytecode.purge_unit
+      (Glaf_interp.Bytecode.unit_key e.e_compiled.Serve.co_unit)
 
 (** Return the compiled program for [script], compiling (and caching
     on success) if absent.  The second component reports whether this

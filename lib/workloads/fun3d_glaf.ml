@@ -175,6 +175,24 @@ let build_ioff_search ~opts b =
        });
   Build.add_stmt b (S.Return (Some (E.var "ipos")))
 
+(* --- combine_flux ------------------------------------------------------ *)
+
+(* Per-component flux combination: a leaf (straight-line arithmetic
+   over scalar dummies) the bytecode compiler inlines into the edge
+   loop's flux sweep.  Same operations in the same order as the
+   expression it replaces, so the factoring is bit-preserving. *)
+let build_combine_flux b =
+  Build.start_function b "combine_flux" ~return:Types.T_real8;
+  Build.add_param b (local_real "flv");
+  Build.add_param b (local_real "wrv");
+  Build.add_param b (local_real "wlv");
+  Build.add_param b (local_real "dissv");
+  Build.start_step b "combine";
+  Build.add_stmt b
+    (S.Return
+       (Some
+          E.((var "flv" + var "wrv") / var "wlv" + var "dissv" * real 0.0)))
+
 (* --- edge_loop --------------------------------------------------------- *)
 
 let build_edge_loop ~opts b =
@@ -204,7 +222,9 @@ let build_edge_loop ~opts b =
     [ "fl"; "fr"; "df"; "dql"; "dqr"; "diss"; "wl"; "wr"; "qa"; "qb" ];
   List.iter (Build.add_grid b)
     [ local_int "p1"; local_int "p2"; local_int "n1"; local_int "n2";
-      local_int "ipos1"; local_int "ipos2"; local_real "w" ];
+      local_int "ipos1"; local_int "ipos2"; local_real "w";
+      local_real "flv"; local_real "wrv"; local_real "wlv";
+      local_real "dissv" ];
   Build.start_step b "endpoints";
   Build.add_stmt b (S.assign_var "p1" (E.idx "ed1" [ E.var "e" ]));
   Build.add_stmt b (S.assign_var "p2" (E.idx "ed2" [ E.var "e" ]));
@@ -247,12 +267,16 @@ let build_edge_loop ~opts b =
                E.(idx "fr" [ var "i" ] * idx "cell_vol" [ var "c" ]);
              S.assign_idx "diss" [ E.var "i" ]
                E.(real 0.05 * idx "qb" [ var "i" ]);
+             S.assign_var "flv" (E.idx "fl" [ E.var "i" ]);
+             S.assign_var "wrv" (E.idx "wr" [ E.var "i" ]);
+             S.assign_var "wlv" (E.idx "wl" [ E.var "i" ]);
+             S.assign_var "dissv" (E.idx "diss" [ E.var "i" ]);
              S.assign_idx "df" [ E.var "i" ]
-               E.((idx "fl" [ var "i" ] + idx "wr" [ var "i" ])
-                  / idx "wl" [ var "i" ]
-                  + idx "diss" [ var "i" ] * real 0.0);
+               (E.call "combine_flux"
+                  [ E.var "flv"; E.var "wrv"; E.var "wlv"; E.var "dissv" ]);
            ];
-         directive = maybe_dir opts.par_edge [];
+         directive =
+           maybe_dir opts.par_edge [ "flv"; "wrv"; "wlv"; "dissv" ];
          schedule = None;
        });
   Build.start_step b "scatter";
@@ -398,6 +422,7 @@ let program ~opts : Ir_module.program =
   Build.add_module b "fun3d_glaf";
   build_angle_check b;
   build_ioff_search ~opts b;
+  build_combine_flux b;
   build_edge_loop ~opts b;
   build_cell_loop ~opts b;
   build_edgejp ~opts b;

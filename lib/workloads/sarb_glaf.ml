@@ -266,6 +266,30 @@ let build_lw_exchange_dn b =
        ]);
   Build.add_stmt b (S.Return (Some (E.var "acc")))
 
+(* per-neighbour entropy contribution: a §3.3 leaf — straight-line
+   IF/assign code over scalar dummies — small enough for the bytecode
+   compiler to inline into ent_exchange's sweep.  The operations and
+   their order are exactly those of the branches it replaces, so the
+   factoring is bit-preserving. *)
+let build_ent_contrib b =
+  Build.start_function b "ent_contrib" ~return:Types.T_real8;
+  Build.add_param b (Grid.scalar Types.T_real8 "fj");
+  Build.add_param b (Grid.scalar Types.T_real8 "dtq");
+  Build.add_param b (Grid.scalar Types.T_real8 "tlj");
+  Build.add_param b (Grid.scalar Types.T_real8 "tlk");
+  Build.start_step b "contrib";
+  Build.add_stmt b
+    (S.if_
+       E.(call "abs" [ var "dtq" ] > real 2.0)
+       [
+         S.Return (Some E.(var "fj" * var "dtq" / (var "tlj" * var "tlk")));
+       ]
+       [
+         S.Return
+           (Some
+              E.(var "fj" * real 2.0 / (var "tlj" + var "tlk") * real 0.01));
+       ])
+
 (* entropy exchange correction for (idir, k) *)
 let build_ent_exchange b =
   Build.start_function b "ent_exchange" ~return:Types.T_real8;
@@ -276,6 +300,9 @@ let build_ent_exchange b =
   Build.add_grid b (ext_int "nv");
   Build.add_grid b (local_real "acc");
   Build.add_grid b (local_real "dtq");
+  Build.add_grid b (local_real "fj");
+  Build.add_grid b (local_real "tlj");
+  Build.add_grid b (local_real "tlk");
   Build.start_step b "exchange";
   Build.add_stmt b (S.assign_var "acc" (E.real 0.0));
   Build.add_stmt b
@@ -283,22 +310,14 @@ let build_ent_exchange b =
        ~lo:(E.call "max" [ E.(var "k" - int 12); E.int 1 ])
        ~hi:(E.call "min" [ E.(var "k" + int 12); E.var "nv" ])
        [
-         S.assign_var "dtq" E.(idx "tl" [ var "j" ] - idx "tl" [ var "k" ]);
-         S.if_
-           E.(call "abs" [ var "dtq" ] > real 2.0)
-           [
-             S.assign_var "acc"
-               E.(var "acc"
-                  + idx "flux2" [ var "idir"; var "j" ] * var "dtq"
-                    / (idx "tl" [ var "j" ] * idx "tl" [ var "k" ]));
-           ]
-           [
-             S.assign_var "acc"
-               E.(var "acc"
-                  + idx "flux2" [ var "idir"; var "j" ] * real 2.0
-                    / (idx "tl" [ var "j" ] + idx "tl" [ var "k" ])
-                    * real 0.01);
-           ];
+         S.assign_var "fj" (E.idx "flux2" [ E.var "idir"; E.var "j" ]);
+         S.assign_var "tlj" (E.idx "tl" [ E.var "j" ]);
+         S.assign_var "tlk" (E.idx "tl" [ E.var "k" ]);
+         S.assign_var "dtq" E.(var "tlj" - var "tlk");
+         S.assign_var "acc"
+           E.(var "acc"
+              + call "ent_contrib"
+                  [ var "fj"; var "dtq"; var "tlj"; var "tlk" ]);
        ]);
   Build.add_stmt b
     (S.Return
@@ -974,6 +993,7 @@ let program () : Ir_module.program =
   build_adjust2 b;
   build_lw_exchange_up b;
   build_lw_exchange_dn b;
+  build_ent_contrib b;
   build_ent_exchange b;
   build_lw_band_sum b;
   build_sw_band_sum b;
@@ -989,4 +1009,5 @@ let kernel_names = Sarb_legacy.kernel_names
 
 (** Helper functions GLAF introduced (interior loops, §3.3). *)
 let helper_names =
-  [ "lw_exchange_up"; "lw_exchange_dn"; "ent_exchange"; "lw_band_sum"; "sw_band_sum" ]
+  [ "lw_exchange_up"; "lw_exchange_dn"; "ent_contrib"; "ent_exchange";
+    "lw_band_sum"; "sw_band_sum" ]

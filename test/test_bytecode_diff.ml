@@ -66,6 +66,7 @@ let run_engine ~bytecode ?(threads = 1) ?sched cu fname args =
   | exception Interp.Fortran_error m -> finish None (Some ("fortran: " ^ m))
   | exception Value.Runtime_error m -> finish None (Some ("value: " ^ m))
   | exception Farray.Bounds_error m -> finish None (Some ("bounds: " ^ m))
+  | exception Faultinject.Injected m -> finish None (Some ("inject: " ^ m))
 
 let assert_same name ?threads ?sched cu fname args =
   let a = run_engine ~bytecode:true ?threads ?sched cu fname args in
@@ -198,6 +199,245 @@ end function zdiv
   assert_same "oob low" cu "oob" [ Ast.Int_lit 0 ];
   assert_same "oob ok" cu "oob" [ Ast.Int_lit 3 ];
   assert_same "zdiv" cu "zdiv" [ Ast.Int_lit 0 ]
+
+(* --- user-call battery ---------------------------------------------------- *)
+
+(* Every flavor of compiled call in one program: inlined branch-free
+   and branching leaves, a marshalled call at the inline size boundary,
+   by-reference scalar and array-element mutation through a subroutine,
+   subroutine recursion (tree-walk fallback at the call site), and a
+   mixed chain where an allocating subroutine falls back while the
+   loops and callees inside it still run compiled. *)
+let calls_src =
+  {|
+module callmod
+  implicit none
+  real*8 :: stash(64)
+end module callmod
+
+real*8 function scale2(a, b)
+  implicit none
+  real*8 :: a, b
+  scale2 = a * 2.0d0 + b * 0.5d0
+end function scale2
+
+real*8 function clampv(x, lim)
+  implicit none
+  real*8 :: x, lim
+  if (x > lim) then
+    clampv = lim + (x - lim) * 0.25d0
+  else
+    clampv = x
+  end if
+end function clampv
+
+real*8 function leaf8(x)
+  implicit none
+  real*8 :: x, t
+  t = x + 1.0d0
+  t = t * 1.5d0
+  t = t - 0.25d0
+  t = t * t
+  t = t + x
+  t = t * 0.5d0
+  t = t + 2.0d0
+  leaf8 = t
+end function leaf8
+
+real*8 function leaf9(x)
+  implicit none
+  real*8 :: x, t
+  t = x + 1.0d0
+  t = t * 1.5d0
+  t = t - 0.25d0
+  t = t * t
+  t = t + x
+  t = t * 0.5d0
+  t = t + 2.0d0
+  t = t - 0.125d0
+  leaf9 = t
+end function leaf9
+
+subroutine bump(v, arr, i)
+  use callmod
+  implicit none
+  real*8 :: v
+  real*8 :: arr(64)
+  integer :: i
+  v = v + 1.25d0
+  arr(i) = arr(i) + v
+  stash(i) = v
+end subroutine bump
+
+subroutine rsum(n, acc)
+  implicit none
+  integer :: n
+  real*8 :: acc
+  if (n > 0) then
+    acc = acc + n * 1.0d0
+    call rsum(n - 1, acc)
+  end if
+end subroutine rsum
+
+subroutine mixed(n, outv)
+  implicit none
+  integer :: n, i
+  real*8 :: outv
+  real*8, allocatable :: tmp(:)
+  allocate(tmp(n))
+  do i = 1, n
+    tmp(i) = leaf9(i * 0.3d0)
+  end do
+  outv = 0.0d0
+  do i = 1, n
+    outv = outv + tmp(i)
+  end do
+  deallocate(tmp)
+end subroutine mixed
+
+real*8 function drive_calls(n, t)
+  use callmod
+  implicit none
+  integer :: n, t
+  integer :: i
+  real*8 :: acc, v, av, bv, mx
+  real*8 :: arr(64)
+  do i = 1, 64
+    arr(i) = i * 0.75d0
+    stash(i) = 0.0d0
+  end do
+  v = 0.5d0
+  do i = 1, 10
+    call bump(v, arr, i)
+  end do
+  acc = 0.0d0
+!$omp parallel do private(i, av, bv) reduction(+:acc) num_threads(t)
+  do i = 1, n
+    av = arr(mod(i, 64) + 1)
+    bv = clampv(i * 0.1d0, 3.0d0)
+    acc = acc + scale2(av, bv)
+    acc = acc + scale2(arr(mod(i + 7, 64) + 1), 1.0d0)
+  end do
+!$omp end parallel do
+  call rsum(12, acc)
+  call mixed(20, mx)
+  acc = acc + leaf9(v) + mx
+  do i = 1, 4
+    av = v + i * 0.5d0
+    acc = acc + leaf8(av)
+  end do
+  do i = 1, 64
+    acc = acc + stash(i)
+  end do
+  print *, 'calls', n
+  drive_calls = acc
+end function drive_calls
+|}
+
+let test_calls_diff () =
+  let cu = Parser.parse_string calls_src in
+  (* float +-reduction: deterministic per engine at one thread under
+     every schedule, at any thread count under static *)
+  List.iter
+    (fun (sname, sched) ->
+      assert_same ("calls " ^ sname) ~threads:1 ?sched cu "drive_calls"
+        [ Ast.Int_lit 300; Ast.Int_lit 1 ])
+    all_scheds;
+  List.iter
+    (fun threads ->
+      assert_same
+        (Printf.sprintf "calls static t=%d" threads)
+        ~threads ~sched:Sched.Static cu "drive_calls"
+        [ Ast.Int_lit 300; Ast.Int_lit threads ])
+    [ 2; 4 ]
+
+(* Under an installed fault plan the call-bearing program must fail (or
+   merely slow down) identically through either engine. *)
+let test_calls_inject_diff () =
+  let cu = Parser.parse_string calls_src in
+  let with_plan spec f =
+    let plan =
+      match Faultinject.parse_plan spec with
+      | Ok p -> p
+      | Error m -> Alcotest.fail ("bad plan: " ^ m)
+    in
+    Faultinject.set_plan plan;
+    Fun.protect ~finally:(fun () -> Faultinject.clear ()) f
+  in
+  let run bytecode spec =
+    with_plan spec (fun () ->
+        run_engine ~bytecode ~threads:2 ~sched:Sched.Static cu "drive_calls"
+          [ Ast.Int_lit 300; Ast.Int_lit 2 ])
+  in
+  (* fail-region:1 kills the one parallel region in drive_calls *)
+  let a = run true "fail-region:1" and b = run false "fail-region:1" in
+  check_bool "inject failed the call" true (a.r_error <> None);
+  (match (a.r_error, b.r_error) with
+  | Some ea, Some eb -> check_string "inject error identical" eb ea
+  | _ -> Alcotest.fail "fail-region outcome differs between engines");
+  (* delay-chunk:0 slows every region without changing results *)
+  let a = run true "delay-chunk:0:1" and b = run false "delay-chunk:0:1" in
+  check_string "delayed output identical" b.r_output a.r_output;
+  if not (match (a.r_value, b.r_value) with
+          | Some va, Some vb -> value_opt_eq va vb
+          | _ -> false)
+  then Alcotest.fail "delay-chunk values differ between engines"
+
+(* White-box coverage: which call sites compiled, inlined, or fell
+   back.  Leaves at or under the size cap leave no per-sub site at all
+   (no frame is ever built); the boundary +1 function is a marshalled
+   compiled call; recursion and ALLOCATE report bails with a reason. *)
+let test_calls_stats () =
+  let cu = Parser.parse_string calls_src in
+  Interp.reset_bytecode_stats ();
+  let st = Interp.make_state ~printer:ignore cu in
+  ignore (Interp.call st "drive_calls" [ Ast.Int_lit 300; Ast.Int_lit 1 ]);
+  let rows = Interp.bytecode_stats_for st in
+  let find lbl = List.filter (fun r -> r.Interp.r_label = lbl) rows in
+  let runs lbl =
+    List.fold_left (fun a r -> a + r.Interp.r_runs) 0 (find lbl)
+  and bails lbl =
+    List.fold_left (fun a r -> a + r.Interp.r_bails) 0 (find lbl)
+  in
+  (* inlined leaves never become call frames *)
+  check_bool "scale2 inlined or marshalled, never bailed" true
+    (bails "sub scale2" = 0);
+  check_int "leaf8 fully inlined: no site" 0 (List.length (find "sub leaf8"));
+  check_bool "leaf9 (one past the cap) ran as compiled frames" true
+    (runs "sub leaf9" > 0);
+  check_int "leaf9 never bailed" 0 (bails "sub leaf9");
+  check_bool "bump ran compiled with by-ref args" true (runs "sub bump" > 0);
+  check_int "bump never bailed" 0 (bails "sub bump");
+  (* recursion: every activation falls back to the tree-walker *)
+  check_bool "rsum bailed" true (bails "sub rsum" > 0);
+  check_bool "rsum bail has a reason" true
+    (List.exists (fun r -> r.Interp.r_reason <> None) (find "sub rsum"));
+  (* the allocating sub bails, but the loops inside it still compile *)
+  check_bool "mixed bailed (allocate)" true (bails "sub mixed" > 0)
+
+(* The acceptance gate of this PR: the case-study exchange subprograms
+   run fully compiled — zero bails — and their factored-out leaf
+   helpers vanish into their callers. *)
+let test_workload_bytecode_coverage () =
+  Interp.reset_bytecode_stats ();
+  ignore (Sarb.run ~threads:1 ~bytecode:true Sarb.Glaf_serial);
+  ignore (Fun3d.run ~threads:1 ~ncell:40 ~bytecode:true
+            (Fun3d.Glaf Fun3d_glaf.serial_options));
+  let rows = Interp.bytecode_stats () in
+  let find lbl = List.filter (fun r -> r.Interp.r_label = lbl) rows in
+  List.iter
+    (fun lbl ->
+      let rs = find ("sub " ^ lbl) in
+      if rs = [] then Alcotest.fail ("no bytecode site for " ^ lbl);
+      List.iter
+        (fun r ->
+          check_bool (lbl ^ " ran compiled") true (r.Interp.r_runs > 0);
+          check_int (lbl ^ " zero bails") 0 r.Interp.r_bails)
+        rs)
+    [ "ent_exchange"; "lw_exchange_up"; "lw_exchange_dn" ];
+  check_int "ent_contrib inlined away" 0 (List.length (find "sub ent_contrib"));
+  check_int "combine_flux inlined away" 0
+    (List.length (find "sub combine_flux"))
 
 (* --- example scripts ----------------------------------------------------- *)
 
@@ -460,6 +700,11 @@ let suites =
       [
         Alcotest.test_case "construct battery" `Quick test_battery_diff;
         Alcotest.test_case "error paths" `Quick test_error_diff;
+        Alcotest.test_case "user-call battery" `Quick test_calls_diff;
+        Alcotest.test_case "user-call injection" `Quick test_calls_inject_diff;
+        Alcotest.test_case "user-call stats" `Quick test_calls_stats;
+        Alcotest.test_case "workload coverage" `Quick
+          test_workload_bytecode_coverage;
         Alcotest.test_case "saxpy script" `Quick test_saxpy_diff;
         Alcotest.test_case "point_charge script" `Quick test_point_charge_diff;
         Alcotest.test_case "legacy_radiation script" `Quick
