@@ -134,6 +134,29 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Print the auto-parallelization report")
     Term.(const run $ script_arg)
 
+(* --- tuning plans -------------------------------------------------------- *)
+
+(* A corrupted or stale plan file is a diagnosed failure (exit 1, one
+   structured line), never a crash or a silently ignored flag. *)
+let load_plan path =
+  match Glaf_tune.Plan.load path with
+  | Ok p -> p
+  | Error reason -> die "plan fault: %s" reason
+
+let plan_stats_line plan =
+  Printf.eprintf "oglaf: plan %s\n%!" (Glaf_tune.Plan.stats_json plan)
+
+let plan_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "plan" ] ~docv:"FILE"
+        ~doc:
+          "Apply a tuning plan produced by $(b,oglaf tune --out): every loop \
+           whose structural digest has a cached winner runs with that \
+           schedule; stale entries are ignored. Prints the plan's \
+           hit/miss/stale counters to stderr.")
+
 (* --- run ---------------------------------------------------------------- *)
 
 let call_arg =
@@ -179,11 +202,16 @@ let print_bytecode_stats rows =
     rows
 
 let run_cmd =
-  let run script fname args threads no_bytecode bc_stats =
+  let run script fname args threads no_bytecode bc_stats plan_file =
     protect @@ fun () ->
+    let plan = Option.map load_plan plan_file in
     let annotated, _, opts = pipeline (load_script script) in
     let src = Glaf_codegen.Fortran_gen.to_source ~opts annotated in
-    let st = Glaf_interp.Interp.make_state (Glaf_fortran.Parser.parse_string src) in
+    let cu = Glaf_fortran.Parser.parse_string src in
+    let cu =
+      match plan with Some p -> Glaf_tune.Plan.apply p cu | None -> cu
+    in
+    let st = Glaf_interp.Interp.make_state cu in
     Glaf_interp.Interp.set_threads st threads;
     Glaf_interp.Interp.set_bytecode st (not no_bytecode);
     let actuals =
@@ -200,13 +228,14 @@ let run_cmd =
     (match Glaf_interp.Interp.call st fname actuals with
     | Some v -> print_endline (Glaf_runtime.Value.to_string v)
     | None -> print_endline "(subroutine completed)");
-    if bc_stats then print_bytecode_stats (Glaf_interp.Interp.bytecode_stats_for st)
+    if bc_stats then print_bytecode_stats (Glaf_interp.Interp.bytecode_stats_for st);
+    Option.iter plan_stats_line plan
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and interpret a function of a GPI script")
     Term.(
       const run $ script_arg $ call_arg $ fun_args $ threads_arg
-      $ no_bytecode_flag $ bytecode_stats_flag)
+      $ no_bytecode_flag $ bytecode_stats_flag $ plan_arg)
 
 (* --- serve -------------------------------------------------------------- *)
 
@@ -240,8 +269,8 @@ let schedule_arg =
     & opt (some string) None
     & info [ "schedule" ] ~docv:"S"
         ~doc:
-          "Default loop schedule for served calls: static, chunk:K, \
-           dynamic[:K] or guided[:K].")
+          "Default loop schedule for served calls: static[:K], chunk:K, \
+           dynamic[:K] or guided[:K] (static:K and chunk:K are synonyms).")
 
 let stats_flag =
   Arg.(
@@ -341,7 +370,7 @@ let max_conns_arg =
    SIGTERM/SIGINT, then drain (finish every admitted call) and print a
    one-line summary.  Exit 0 on a clean drain. *)
 let serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
-    ~concurrency ~max_pending ~max_conns ~no_bytecode ~stats =
+    ~concurrency ~max_pending ~max_conns ~no_bytecode ~stats ~plan =
   let module L = Glaf_service.Listener in
   let script_path =
     match script with
@@ -359,6 +388,11 @@ let serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
       lc_deadline_s = deadline_s;
       lc_bytecode = not no_bytecode;
       lc_retries = retries;
+      lc_transform = Option.map (fun p cu -> Glaf_tune.Plan.apply p cu) plan;
+      lc_status_extra =
+        Option.map
+          (fun p () -> [ ("plan", Glaf_tune.Plan.stats_json p) ])
+          plan;
     }
   in
   match L.create ~config (read_file script_path) with
@@ -372,6 +406,7 @@ let serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
       socket max_pending concurrency;
     let final = L.serve srv in
     Printf.eprintf "oglaf: %s\n%!" (L.summary_line final);
+    Option.iter plan_stats_line plan;
     if stats then
       Format.printf "%a" Glaf_runtime.Pool.pp_stats (Glaf_runtime.Pool.stats ())
 
@@ -422,8 +457,9 @@ let serve_connect ~socket ~calls_file ~status_q =
 let serve_cmd =
   let run script calls_file threads sched_s stats timeout_ms retries max_errors
       concurrency inject no_bytecode listen connect status_q max_pending
-      max_conns =
+      max_conns plan_file =
     protect @@ fun () ->
+    let plan = Option.map load_plan plan_file in
     let sched =
       match sched_s with
       | None -> None
@@ -432,8 +468,8 @@ let serve_cmd =
         | Some sc -> Some sc
         | None ->
           usage_die
-            "unknown schedule %s (expected static, chunk:K, dynamic[:K] or \
-             guided[:K])"
+            "unknown schedule %s (expected static[:K], chunk:K, dynamic[:K] \
+             or guided[:K])"
             s)
     in
     if concurrency < 1 then usage_die "--concurrency must be >= 1";
@@ -466,10 +502,13 @@ let serve_cmd =
                    requests from the socket"
       | None -> ());
       serve_listen ~socket ~script ~threads ~sched ~deadline_s ~retries
-        ~concurrency ~max_pending ~max_conns ~no_bytecode ~stats
+        ~concurrency ~max_pending ~max_conns ~no_bytecode ~stats ~plan
     | None, Some socket ->
       (match script with
       | Some _ -> usage_die "SCRIPT is not used with --connect (the server owns it)"
+      | None -> ());
+      (match plan with
+      | Some _ -> usage_die "--plan is a server/batch option (the server owns it)"
       | None -> ());
       serve_connect ~socket ~calls_file ~status_q
     | None, None ->
@@ -482,7 +521,12 @@ let serve_cmd =
         | Some p -> p
         | None -> usage_die "batch mode needs --calls FILE (or use --listen)"
       in
-      let compiled = Glaf_service.Serve.compile (read_file script_path) in
+      let transform =
+        Option.map (fun p cu -> Glaf_tune.Plan.apply p cu) plan
+      in
+      let compiled =
+        Glaf_service.Serve.compile ?transform (read_file script_path)
+      in
       let calls = Glaf_service.Serve.parse_calls (read_file calls_path) in
       Glaf_runtime.Pool.reset_stats ();
       let batch =
@@ -498,6 +542,7 @@ let serve_cmd =
       if stats then
         Format.printf "%a" Glaf_runtime.Pool.pp_stats
           (Glaf_runtime.Pool.stats ());
+      Option.iter plan_stats_line plan;
       if batch.Glaf_service.Serve.b_failed > 0 then begin
         Format.eprintf "oglaf: %a@." Glaf_service.Serve.pp_batch_summary batch;
         exit 1
@@ -513,7 +558,8 @@ let serve_cmd =
       const run $ serve_script_arg $ calls_arg $ serve_threads_arg
       $ schedule_arg $ stats_flag $ timeout_arg $ retry_arg $ max_errors_arg
       $ concurrency_arg $ inject_arg $ no_bytecode_flag $ listen_arg
-      $ connect_arg $ status_flag $ max_pending_arg $ max_conns_arg)
+      $ connect_arg $ status_flag $ max_pending_arg $ max_conns_arg
+      $ plan_arg)
 
 (* --- check -------------------------------------------------------------- *)
 
@@ -714,6 +760,136 @@ let autopar_cmd =
       const run $ fortran_file_arg $ mode_arg $ kernel_arg $ call_arg
       $ setup_arg $ no_verify_flag $ report_flag $ out_arg)
 
+(* --- tune ----------------------------------------------------------------- *)
+
+let tune_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"GPI action script (.gpi) or legacy Fortran source (.f90/.f).")
+  in
+  let calls_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "calls" ] ~docv:"FILE"
+          ~doc:"Workload: calls file, one 'function(arg, ...)' per line.")
+  in
+  let call_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "call" ] ~docv:"CALL"
+          ~doc:"Workload call, e.g. 'pi_mid(10000)' (repeatable).")
+  in
+  let setup_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "setup" ] ~docv:"CALL"
+          ~doc:
+            "Setup call executed (untimed, unverified) before each measured \
+             or verified run, e.g. 'entx_init()' (repeatable).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the winning plan as JSON to FILE.")
+  in
+  let prior_plan_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Prior plan: loops whose structural digest is already cached \
+             skip the search entirely (their row reads 'cached').")
+  in
+  let tune_threads_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "threads" ] ~docv:"N"
+          ~doc:
+            "Thread count the parallel variants are measured at (default: \
+             min(4, cores)).")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:"Timed repetitions per variant; the minimum counts.")
+  in
+  let tune_timeout_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Deadline per candidate phase (verification, measurement): a \
+             variant past it is disqualified, not allowed to wedge the \
+             search.")
+  in
+  let run file calls_file call_strs setup_strs out prior_plan_file threads
+      repeats timeout_ms =
+    protect @@ fun () ->
+    if repeats < 1 then usage_die "--repeats must be >= 1";
+    if timeout_ms < 1 then usage_die "--timeout-ms must be >= 1";
+    let deadline_s = float_of_int timeout_ms /. 1e3 in
+    let setup = List.map (parse_cli_call ~what:"--setup") setup_strs in
+    let calls =
+      List.map (parse_cli_call ~what:"--call") call_strs
+      @
+      match calls_file with
+      | None -> []
+      | Some path ->
+        List.map
+          (fun (c : Glaf_service.Serve.call) ->
+            (c.Glaf_service.Serve.cl_name, c.Glaf_service.Serve.cl_args))
+          (Glaf_service.Serve.parse_calls (read_file path))
+    in
+    if calls = [] then
+      usage_die "tune needs a workload: --call CALL and/or --calls FILE";
+    let prior = Option.map load_plan prior_plan_file in
+    (* .gpi scripts go through the serving pipeline (build -> autopar
+       -> codegen -> reparse); legacy Fortran through autopar
+       annotation, with the original file as the serial baseline *)
+    let cu, baseline =
+      if Filename.check_suffix file ".gpi" then begin
+        let compiled = Glaf_service.Serve.compile (read_file file) in
+        (compiled.Glaf_service.Serve.co_unit, None)
+      end
+      else
+        let original = Glaf_fortran.Parser.parse_string (read_file file) in
+        let result = Glaf_lift.Autopar_fortran.run ~pure original in
+        (result.Glaf_lift.Autopar_fortran.annotated, Some original)
+    in
+    let report =
+      Glaf_tune.Tuner.tune ?threads ~repeats ~deadline_s ?plan:prior ?baseline
+        ~setup ~calls cu
+    in
+    print_string (Glaf_tune.Tuner.table_string report);
+    (match report.Glaf_tune.Tuner.tn_compose_errors with
+    | [] -> ()
+    | e :: _ -> die "tuned plan failed composed verification: %s" e);
+    match out with
+    | None -> ()
+    | Some path ->
+      Glaf_tune.Plan.save report.Glaf_tune.Tuner.tn_plan path;
+      Printf.eprintf "oglaf: plan written to %s (%d entries)\n%!" path
+        (List.length report.Glaf_tune.Tuner.tn_plan.Glaf_tune.Plan.p_entries)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the per-loop variant space (serial/schedule/chunk/collapse) \
+          of a program against a workload, verify every candidate \
+          bit-identical to the serial baseline, and emit the winning plan")
+    Term.(
+      const run $ file_arg $ calls_file_arg $ call_arg $ setup_arg $ out_arg
+      $ prior_plan_arg $ tune_threads_arg $ repeats_arg $ tune_timeout_arg)
+
 (* --- case studies -------------------------------------------------------- *)
 
 let sarb_cmd =
@@ -768,7 +944,8 @@ let () =
   let code =
     Cmd.eval
       (Cmd.group info
-         [ compile_cmd; analyze_cmd; run_cmd; serve_cmd; check_cmd; sloc_cmd; autopar_cmd; sarb_cmd; fun3d_cmd ])
+         [ compile_cmd; analyze_cmd; run_cmd; serve_cmd; check_cmd; sloc_cmd;
+           autopar_cmd; tune_cmd; sarb_cmd; fun3d_cmd ])
   in
   (* cmdliner reports CLI misuse as 124; the documented usage-error
      code is 2 (1 is reserved for diagnosed run failures) *)

@@ -333,16 +333,18 @@ let parse_whole_expr ps =
   | None -> ());
   e
 
-(* The [schedule] clause of [foreach]: [static], [chunk:<k>],
-   [dynamic[:<k>]] or [guided[:<k>]], mapping to the runtime pool's
-   loop schedules.  [dynamic] or [guided] without a chunk mean the
-   OpenMP default chunk/floor of 1. *)
+(* The [schedule] clause of [foreach]: [static[:<k>]], [chunk:<k>]
+   ([static:<k>] is the OpenMP-consistent alias — tuning plans
+   serialize that spelling), [dynamic[:<k>]] or [guided[:<k>]],
+   mapping to the runtime pool's loop schedules.  [dynamic] or
+   [guided] without a chunk mean the OpenMP default chunk/floor
+   of 1. *)
 let parse_schedule ps =
   let next_is_colon ps =
     ps.pos + 1 < Array.length ps.toks && ps.toks.(ps.pos + 1) = Top ":"
   in
   match peek ps with
-  | Some (Tid "static") ->
+  | Some (Tid "static") when not (next_is_colon ps) ->
     advance ps;
     Stmt.Sched_static
   | Some (Tid "dynamic") when not (next_is_colon ps) ->
@@ -351,25 +353,26 @@ let parse_schedule ps =
   | Some (Tid "guided") when not (next_is_colon ps) ->
     advance ps;
     Stmt.Sched_guided 1
-  | Some (Tid (("chunk" | "dynamic" | "guided") as kind)) -> (
+  | Some (Tid (("chunk" | "static" | "dynamic" | "guided") as kind)) -> (
     advance ps;
     expect_op ps ":";
     match peek ps with
     | Some (Tint k) when k >= 1 ->
       advance ps;
       (match kind with
-      | "chunk" -> Stmt.Sched_static_chunk k
+      | "chunk" | "static" -> Stmt.Sched_static_chunk k
       | "dynamic" -> Stmt.Sched_dynamic k
       | _ -> Stmt.Sched_guided k)
     | _ -> fail ps.line "schedule %s: expects a positive chunk size" kind)
   | Some t ->
     fail ps.line
-      "unknown schedule %S (expected static, chunk:<k>, dynamic[:<k>] or \
-       guided[:<k>])"
+      "unknown schedule %S (expected static[:<k>], chunk:<k>, dynamic[:<k>] \
+       or guided[:<k>])"
       (token_text t)
   | None ->
     fail ps.line
-      "schedule expects static, chunk:<k>, dynamic[:<k>] or guided[:<k>]"
+      "schedule expects static[:<k>], chunk:<k>, dynamic[:<k>] or \
+       guided[:<k>]"
 
 (* --- grid declarations -------------------------------------------------- *)
 

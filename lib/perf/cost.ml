@@ -279,7 +279,28 @@ and loop_cost env (l : Ast.do_loop) : float =
         float_of_int total_trip *. (body +. m.Machine.op_ns) /. speedup
       in
       let sched = 0.3 *. m.Machine.per_thread_ns *. float_of_int threads in
-      Machine.region_overhead m threads +. sched +. work
+      (* The SCHEDULE clause decides how many chunks the runtime
+         dispatches.  The default static schedule deals one contiguous
+         block per thread; every chunk beyond that — dynamic/guided
+         pulls from the shared counter, static,k round-robin deals —
+         pays [chunk_ns].  This is what makes schedule(dynamic,1) on a
+         large trip count rank measurably worse than static, and what
+         the variant autotuner prunes its search with. *)
+      let dispatches =
+        let ceil_div a b = (a + b - 1) / max 1 b in
+        match d.Ast.omp_schedule with
+        | None | Some Ast.Static -> threads
+        | Some (Ast.Static_chunk k) -> ceil_div total_trip (max 1 k)
+        | Some (Ast.Dynamic k) -> ceil_div total_trip (max 1 k)
+        | Some (Ast.Guided k) ->
+          List.length
+            (Glaf_runtime.Sched.guided_chunk_sizes ~total:total_trip
+               ~team:threads ~min_chunk:(max 1 k))
+      in
+      let dispatch_cost =
+        m.Machine.chunk_ns *. float_of_int (max 0 (dispatches - threads))
+      in
+      Machine.region_overhead m threads +. sched +. dispatch_cost +. work
     end
 
 (** {1 Subprograms} *)

@@ -25,6 +25,12 @@ type t = {
   simd_efficiency : float;  (** achieved fraction of the ideal lane speedup *)
   memset_speedup : float;  (** speedup of a compiler-emitted memset over the scalar loop *)
   unroll_speedup : float;  (** speedup from unrolling very short loops *)
+  chunk_ns : float;
+      (** per-chunk dispatch cost of a chunked OpenMP schedule
+          ([schedule(dynamic,k)] pulls, [guided] decay pulls, extra
+          [static,k] round-robin chunks beyond one block per thread).
+          The default static schedule deals one contiguous block per
+          thread and pays nothing here. *)
 }
 
 (** 4-core desktop in the SARB evaluation (§4.1.2): Intel Core
@@ -48,6 +54,7 @@ let i5_2400 =
     simd_efficiency = 0.55;
     memset_speedup = 7.0;
     unroll_speedup = 1.4;
+    chunk_ns = 55.0;
   }
 
 (** Dual-socket Xeon E5-2637 v4 node in the FUN3D evaluation (§4.2.2):
@@ -69,6 +76,41 @@ let xeon_e5_2637v4 =
     simd_efficiency = 0.6;
     memset_speedup = 8.0;
     unroll_speedup = 1.5;
+    chunk_ns = 40.0;
+  }
+
+(** Profile of {e this} host running the tree-walk/bytecode
+    interpreter — the machine the variant autotuner ({!Glaf_tune})
+    actually measures on.  Per-op constants are interpreter-scale
+    (two orders of magnitude above compiled code) and the
+    parallel-region / per-chunk costs reflect the domain pool's
+    measured dispatch overhead, so the model ranks schedule variants
+    the way interpreter wall clock does; compiler loop optimizations
+    do not apply to an interpreter, so the serial speedup factors are
+    all 1. *)
+let interp_host ?cores () =
+  let cores =
+    match cores with
+    | Some n -> max 1 n
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  {
+    name = Printf.sprintf "interpreter host (%d cores)" cores;
+    cores;
+    smt_threads = cores;
+    smt_gain = 0.0;
+    oversub_penalty = 1.0;
+    op_ns = 45.0;
+    mem_ns = 60.0;
+    call_ns = 400.0;
+    alloc_ns = 800.0;
+    fork_join_ns = 9000.0;
+    per_thread_ns = 2500.0;
+    simd_width = 1;
+    simd_efficiency = 1.0;
+    memset_speedup = 1.0;
+    unroll_speedup = 1.0;
+    chunk_ns = 3500.0;
   }
 
 (** Parallel speedup available from [t] software threads: linear to

@@ -27,10 +27,13 @@ let to_string = function
   | Dynamic k -> Printf.sprintf "dynamic:%d" k
   | Guided k -> Printf.sprintf "guided:%d" k
 
-(** Parse the surface syntax shared by the CLI ([--schedule]) and the
-    [.gpi] [schedule] clause: [static], [chunk:<k>], [dynamic[:<k>]]
-    or [guided[:<k>]] (chunk sizes must be >= 1; bare [dynamic] and
-    [guided] mean chunk/floor 1, OpenMP's default). *)
+(** Parse the surface syntax shared by the CLI ([--schedule]), the
+    [.gpi] [schedule] clause and tuning-plan files: [static],
+    [chunk:<k>], [static:<k>] (the OpenMP-consistent alias for
+    [chunk:<k>]), [dynamic[:<k>]] or [guided[:<k>]] (chunk sizes must
+    be >= 1; bare [dynamic] and [guided] mean chunk/floor 1, OpenMP's
+    default).  [of_string (to_string s) = Some s] holds for every
+    constructor (pinned by a property test). *)
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "static" -> Some Static
@@ -45,12 +48,16 @@ let of_string s =
         | _ -> None
       else None
     in
-    match chunked "chunk:" (fun k -> Static_chunked k) with
-    | Some _ as r -> r
-    | None -> (
-      match chunked "dynamic:" (fun k -> Dynamic k) with
-      | Some _ as r -> r
-      | None -> chunked "guided:" (fun k -> Guided k)))
+    let first_some l = List.find_map (fun f -> f ()) l in
+    first_some
+      [
+        (fun () -> chunked "chunk:" (fun k -> Static_chunked k));
+        (* OpenMP spells it schedule(static, k); plans serialize the
+           same spelling, so accept it everywhere chunk:<k> is *)
+        (fun () -> chunked "static:" (fun k -> Static_chunked k));
+        (fun () -> chunked "dynamic:" (fun k -> Dynamic k));
+        (fun () -> chunked "guided:" (fun k -> Guided k));
+      ])
 
 (** Static chunking of the inclusive iteration space [lo..hi] (unit
     step) into [n] contiguous chunks; returns [(chunk_lo, chunk_hi)]

@@ -114,6 +114,15 @@ type config = {
   lc_bytecode : bool;
   lc_retries : int;  (** transient-fault retries per call *)
   lc_cache_capacity : int;
+  lc_transform :
+    (Glaf_fortran.Ast.compilation_unit -> Glaf_fortran.Ast.compilation_unit)
+    option;
+      (** rewrites every compiled unit before it is served (startup
+          script and cached inline scripts alike) — how [--plan]
+          applies a tuning plan on the serving path *)
+  lc_status_extra : (unit -> (string * string) list) option;
+      (** extra top-level status fields, [(name, raw JSON value)] —
+          e.g. the plan cache's hit/stale counters *)
 }
 
 let default_config ~socket =
@@ -128,7 +137,13 @@ let default_config ~socket =
     lc_bytecode = true;
     lc_retries = 0;
     lc_cache_capacity = 64;
+    lc_transform = None;
+    lc_status_extra = None;
   }
+
+(** Completed-call latencies retained for the rolling percentile
+    window in [--status] output. *)
+let latency_window = 256
 
 (* --- server state --------------------------------------------------------- *)
 
@@ -174,6 +189,11 @@ type t = {
   shed : int Atomic.t;  (** rejected at admission with Overload_fault *)
   rejected : int Atomic.t;  (** malformed / oversized / compile-error *)
   write_errors : int Atomic.t;  (** responses lost to dead peers *)
+  (* rolling window of the last [latency_window] completed-call wall
+     times (ms), written by executors under [lat_mu] *)
+  lat_mu : Mutex.t;
+  lat : float array;
+  mutable lat_count : int;  (** total completed calls ever recorded *)
 }
 
 type stats = {
@@ -189,7 +209,34 @@ type stats = {
   ls_health : Pool.health;
   ls_respawns : int;
   ls_draining : bool;
+  ls_calls : int;  (** completed calls recorded in the latency window *)
+  ls_p50_ms : float;  (** median latency over the window; 0 when empty *)
+  ls_p99_ms : float;  (** p99 latency over the window; 0 when empty *)
 }
+
+(* Record one completed call's wall time into the rolling window. *)
+let record_latency t ms =
+  Mutex.lock t.lat_mu;
+  t.lat.(t.lat_count mod latency_window) <- ms;
+  t.lat_count <- t.lat_count + 1;
+  Mutex.unlock t.lat_mu
+
+(* Nearest-rank percentiles over the filled part of the window. *)
+let latency_percentiles t =
+  Mutex.lock t.lat_mu;
+  let n = min t.lat_count latency_window in
+  let window = Array.sub t.lat 0 n in
+  let count = t.lat_count in
+  Mutex.unlock t.lat_mu;
+  if n = 0 then (count, 0.0, 0.0)
+  else begin
+    Array.sort compare window;
+    let at p =
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      window.(max 0 (min (n - 1) (rank - 1)))
+    in
+    (count, at 0.50, at 0.99)
+  end
 
 let stats t =
   Mutex.lock t.qmu;
@@ -198,6 +245,7 @@ let stats t =
   Mutex.lock t.cmu;
   let accepted = t.accepted in
   Mutex.unlock t.cmu;
+  let calls, p50, p99 = latency_percentiles t in
   {
     ls_accepted = accepted;
     ls_ok = Atomic.get t.ok;
@@ -211,6 +259,9 @@ let stats t =
     ls_health = Pool.health ();
     ls_respawns = (Pool.stats ()).Pool.respawns;
     ls_draining = Atomic.get t.draining;
+    ls_calls = calls;
+    ls_p50_ms = p50;
+    ls_p99_ms = p99;
   }
 
 let health_string = function
@@ -278,21 +329,33 @@ let bytecode_json () =
 
 let status_response ~seq t =
   let st = stats t in
+  let extra =
+    match t.cfg.lc_status_extra with
+    | None -> ""
+    | Some fields ->
+      String.concat ""
+        (List.map
+           (fun (name, json) -> Printf.sprintf ",\"%s\":%s" name json)
+           (fields ()))
+  in
   Printf.sprintf
     "{\"seq\":%d,\"ok\":true,\"status\":{\"health\":\"%s\",\"draining\":%b,\
      \"pending\":%d,\"max_pending\":%d,\"connections\":%d,\"ok\":%d,\
      \"failed\":%d,\"shed\":%d,\"rejected\":%d,\"write_errors\":%d,\
-     \"respawns\":%d,\"cache\":{\"size\":%d,\"capacity\":%d,\"hits\":%d,\
-     \"misses\":%d,\"evictions\":%d,\"hit_rate\":%.4f},\"bytecode\":%s}}"
+     \"respawns\":%d,\"latency\":{\"window\":%d,\"count\":%d,\
+     \"p50_ms\":%.3f,\"p99_ms\":%.3f},\"cache\":{\"size\":%d,\"capacity\":%d,\
+     \"hits\":%d,\"misses\":%d,\"evictions\":%d,\"hit_rate\":%.4f},\
+     \"bytecode\":%s%s}}"
     seq
     (Fault.json_escape (health_string st.ls_health))
     st.ls_draining st.ls_pending st.ls_max_pending st.ls_accepted st.ls_ok
     st.ls_failed st.ls_shed st.ls_rejected st.ls_write_errors st.ls_respawns
+    latency_window st.ls_calls st.ls_p50_ms st.ls_p99_ms
     st.ls_cache.Progcache.cs_size st.ls_cache.Progcache.cs_capacity
     st.ls_cache.Progcache.cs_hits st.ls_cache.Progcache.cs_misses
     st.ls_cache.Progcache.cs_evictions
     (Progcache.hit_rate st.ls_cache)
-    (bytecode_json ())
+    (bytecode_json ()) extra
 
 (* --- socket plumbing ------------------------------------------------------ *)
 
@@ -550,11 +613,16 @@ let executor t =
           Atomic.incr t.rejected;
           fault_response ~seq:job.wj_seq fault
         | Ok compiled -> (
-          match
+          let t0 = Unix.gettimeofday () in
+          let result =
             Serve.run_call ?threads:t.cfg.lc_threads ?sched:t.cfg.lc_sched
               ?deadline_s:t.cfg.lc_deadline_s ~bytecode:t.cfg.lc_bytecode
               ~retries:t.cfg.lc_retries compiled job.wj_call
-          with
+          in
+          (* faulted calls count too: a deadline-bound tail is exactly
+             what the p99 is there to expose *)
+          record_latency t ((Unix.gettimeofday () -. t0) *. 1e3);
+          match result with
           | Ok oc ->
             Atomic.incr t.ok;
             outcome_response ~seq:job.wj_seq oc
@@ -608,7 +676,11 @@ let create ~config:cfg script_text =
   if cfg.lc_executors < 1 then
     raise (Listener_error "need at least one executor");
   ignore_sigpipe ();
-  let cache = Progcache.create ~capacity:cfg.lc_cache_capacity () in
+  let cache =
+    Progcache.create ~capacity:cfg.lc_cache_capacity
+      ~compile:(Serve.compile_result ?transform:cfg.lc_transform)
+      ()
+  in
   match fst (Progcache.find_or_compile cache script_text) with
   | Error fault -> Error fault
   | Ok compiled ->
@@ -639,6 +711,9 @@ let create ~config:cfg script_text =
         shed = Atomic.make 0;
         rejected = Atomic.make 0;
         write_errors = Atomic.make 0;
+        lat_mu = Mutex.create ();
+        lat = Array.make latency_window 0.0;
+        lat_count = 0;
       }
 
 (** Ask the server to drain and exit; safe from a signal handler. *)

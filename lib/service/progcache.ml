@@ -33,6 +33,9 @@ type t = {
   capacity : int;
   tbl : (string, entry) Hashtbl.t;  (** digest of script text -> entry *)
   mu : Mutex.t;
+  compile : string -> (Serve.compiled, Glaf_runtime.Fault.t) result;
+      (** how a miss compiles; lets callers thread a plan transform
+          through the cache so hits and misses serve the same program *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -47,12 +50,14 @@ type stats = {
   cs_evictions : int;
 }
 
-let create ?(capacity = 64) () =
+let create ?(capacity = 64) ?(compile = Serve.compile_result ?transform:None)
+    () =
   if capacity < 1 then invalid_arg "Progcache.create: capacity must be >= 1";
   {
     capacity;
     tbl = Hashtbl.create (2 * capacity);
     mu = Mutex.create ();
+    compile;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -122,7 +127,7 @@ let find_or_compile c script =
   | None -> (
     c.misses <- c.misses + 1;
     Mutex.unlock c.mu;
-    match Serve.compile_result script with
+    match c.compile script with
     | Error _ as err -> (err, `Miss)
     | Ok compiled ->
       Mutex.lock c.mu;

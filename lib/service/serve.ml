@@ -121,8 +121,11 @@ type compiled = {
 }
 
 (** Build -> auto-parallelize -> generate Fortran -> parse, once.
+    [transform] rewrites the parsed unit before it is served — the
+    hook a tuning plan ({!Glaf_tune.Plan.apply}) plugs into; the
+    default is the identity.
     @raise Glaf_builder.Gpi_script.Script_error on bad scripts. *)
-let compile gpi_text =
+let compile ?(transform = fun cu -> cu) gpi_text =
   let program = Glaf_builder.Gpi_script.run gpi_text in
   let pure = Intrinsics.names () in
   let annotated, _report = Glaf_analysis.Autopar.run ~pure program in
@@ -130,13 +133,13 @@ let compile gpi_text =
     Glaf_codegen.Fortran_gen.to_source
       ~opts:Glaf_codegen.Fortran_gen.default_options annotated
   in
-  { co_source = src; co_unit = Parser.parse_string src }
+  { co_source = src; co_unit = transform (Parser.parse_string src) }
 
 (** Non-raising {!compile}: script errors come back as [Parse_fault],
     failures of the analysis/codegen/reparse stages as
     [Analysis_fault]. *)
-let compile_result gpi_text =
-  match compile gpi_text with
+let compile_result ?transform gpi_text =
+  match compile ?transform gpi_text with
   | c -> Ok c
   | exception Glaf_builder.Gpi_script.Script_error (line, reason) ->
     Error (Fault.Parse_fault { line; reason })

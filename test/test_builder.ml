@@ -119,6 +119,7 @@ let test_schedule_clause () =
   check "no clause" "" None;
   check "static" " schedule static" (Some Stmt.Sched_static);
   check "chunk" " schedule chunk:4" (Some (Stmt.Sched_static_chunk 4));
+  check "static:k alias" " schedule static:4" (Some (Stmt.Sched_static_chunk 4));
   check "dynamic" " schedule dynamic:16" (Some (Stmt.Sched_dynamic 16));
   check "bare dynamic" " schedule dynamic" (Some (Stmt.Sched_dynamic 1));
   check "guided" " schedule guided" (Some (Stmt.Sched_guided 1));

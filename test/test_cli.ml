@@ -414,6 +414,45 @@ let test_autopar_error_contract () =
     check_bool "names the failure" true (contains out "original run failed")
   end
 
+(* the tune -> plan -> run pipeline: search once, persist the winning
+   plan, and apply it on later runs without re-searching *)
+let test_tune_plan_pipeline () =
+  require_available ();
+  let plan = Filename.temp_file "oglaf_plan" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove plan with Sys_error _ -> ())
+  @@ fun () ->
+  let rc, out =
+    run_capture
+      (Printf.sprintf
+         "%s tune %s/quad_sweep.gpi --calls %s/quad_sweep.calls --repeats 1 \
+          --out %s"
+         exe scripts scripts plan)
+  in
+  check_bool "tune exit 0" true (rc = 0);
+  check_bool "win/loss table printed" true (contains out "win/loss table");
+  check_bool "bit-identity line printed" true
+    (contains out "bit-identical to the serial baseline");
+  check_bool "plan written" true (contains out "plan written");
+  let rc, out =
+    run_capture
+      (Printf.sprintf "%s run %s/quad_sweep.gpi --plan %s --call pi_mid --arg 1000"
+         exe scripts plan)
+  in
+  check_bool "run --plan exit 0" true (rc = 0);
+  check_bool "plan consulted, no re-search" true
+    (contains out "\"hits\":1" && contains out "\"misses\":0");
+  (* a corrupted plan is a structured fault (exit 1), never a crash *)
+  let oc = open_out plan in
+  output_string oc "{\"version\":1,\"machine\":\"m\",\"entries\":[{\"loo";
+  close_out oc;
+  let rc, out =
+    run_capture
+      (Printf.sprintf "%s run %s/quad_sweep.gpi --plan %s --call pi_mid --arg 10"
+         exe scripts plan)
+  in
+  check_bool "corrupted plan exits 1" true (rc = 1);
+  check_bool "corrupted plan names the fault" true (contains out "plan fault")
+
 let suites =
   [
     ( "cli",
@@ -439,5 +478,6 @@ let suites =
         Alcotest.test_case "autopar lift" `Quick test_autopar_lift;
         Alcotest.test_case "autopar error contract" `Quick
           test_autopar_error_contract;
+        Alcotest.test_case "tune plan pipeline" `Quick test_tune_plan_pipeline;
       ] );
   ]

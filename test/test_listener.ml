@@ -250,6 +250,31 @@ let test_status_endpoint () =
   check_bool "cache block" true (contains st "\"cache\":{");
   check_bool "status consumes a seq" true (contains st "\"seq\":2")
 
+(* every completed run — ok or fault — lands one wall-time sample in
+   the rolling latency window; status surfaces the window size, the
+   sample count, and the nearest-rank p50/p99 *)
+let test_status_latency () =
+  let n = 5 in
+  with_server
+    ~after:(fun st ->
+      check_int "final stats count the calls" n st.Listener.ls_calls;
+      check_bool "final p50 positive" true (st.Listener.ls_p50_ms > 0.0);
+      check_bool "p99 dominates p50" true
+        (st.Listener.ls_p99_ms >= st.Listener.ls_p50_ms))
+  @@ fun path _srv ->
+  let cl = Listener.Client.connect path in
+  Fun.protect ~finally:(fun () -> Listener.Client.close cl) @@ fun () ->
+  for _ = 1 to n do
+    ignore (request_exn cl "run pi_mid(50)")
+  done;
+  let st = request_exn cl "status" in
+  check_bool "latency block present" true (contains st "\"latency\":{");
+  check_bool "window advertised" true (contains st "\"window\":256");
+  check_bool "count covers the calls" true
+    (contains st (Printf.sprintf "\"count\":%d" n));
+  check_bool "p50 field" true (contains st "\"p50_ms\":");
+  check_bool "p99 field" true (contains st "\"p99_ms\":")
+
 (* An oversized request must be rejected whether its newline trails in
    later chunks (discard mode) or arrives inside the same read chunk
    that blew the cap — the second case used to slip through. *)
@@ -564,6 +589,7 @@ let suites =
         Alcotest.test_case "shed requests skip compile" `Quick
           test_shed_requests_skip_compile;
         Alcotest.test_case "status endpoint" `Quick test_status_endpoint;
+        Alcotest.test_case "status latency window" `Quick test_status_latency;
       ] );
     ( "listener.resilience",
       [

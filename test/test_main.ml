@@ -16,5 +16,6 @@ let () =
          Test_listener.suites;
          Test_perf_integration.suites;
          Test_lift.suites;
+         Test_tune.suites;
          Test_cli.suites;
        ])

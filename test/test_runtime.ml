@@ -207,11 +207,36 @@ let test_sched_of_string () =
     (Sched.of_string "guided:4" = Some (Sched.Guided 4));
   check_bool "guided zero floor rejected" true (Sched.of_string "guided:0" = None);
   check_bool "junk rejected" true (Sched.of_string "gelded" = None);
+  (* the OpenMP-consistent alias: schedule(static, k) prints static:<k> *)
+  check_bool "static:k alias" true
+    (Sched.of_string "static:8" = Some (Sched.Static_chunked 8));
+  check_bool "static:k equals chunk:k" true
+    (Sched.of_string "static:8" = Sched.of_string "chunk:8");
+  check_bool "static:0 rejected" true (Sched.of_string "static:0" = None);
+  check_bool "static: junk rejected" true (Sched.of_string "static:x" = None);
   List.iter
     (fun s ->
       check_bool "roundtrip" true
         (Sched.of_string (Sched.to_string s) = Some s))
     [ Sched.Static; Sched.Static_chunked 3; Sched.Dynamic 5; Sched.Guided 2 ]
+
+(* every schedule round-trips through its printed form, and the
+   chunked forms also parse under the static:<k> alias *)
+let prop_sched_roundtrip =
+  QCheck.Test.make ~name:"sched to_string/of_string roundtrip" ~count:200
+    QCheck.(pair (int_range 0 3) (int_range 1 999))
+    (fun (tag, k) ->
+      let s =
+        match tag with
+        | 0 -> Sched.Static
+        | 1 -> Sched.Static_chunked k
+        | 2 -> Sched.Dynamic k
+        | _ -> Sched.Guided k
+      in
+      Sched.of_string (Sched.to_string s) = Some s
+      && (tag <> 1
+         || Sched.of_string (Printf.sprintf "static:%d" k)
+            = Some (Sched.Static_chunked k)))
 
 (* OpenMP's guided decay rule as a pure function: every pull takes
    max(floor, remaining/team), so the sizes are non-increasing, always
@@ -470,6 +495,7 @@ let suites =
     ( "runtime.pool",
       [
         Alcotest.test_case "sched of_string" `Quick test_sched_of_string;
+        QCheck_alcotest.to_alcotest prop_sched_roundtrip;
         Alcotest.test_case "empty range" `Quick test_pool_empty_range;
         Alcotest.test_case "threads > iterations" `Quick
           test_pool_threads_exceed_iterations;
